@@ -1,0 +1,208 @@
+// Command benchlake regenerates every paper table/figure-shaped result
+// (DESIGN.md experiments E1–E12 and ablations A1–A5) and prints them
+// as tables. Run a single experiment by id, or everything:
+//
+//	benchlake e1        # Figure 4: TPC-DS speedup with metadata caching
+//	benchlake all       # the full evaluation
+//	benchlake -scale 2 e1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"biglake/internal/exp"
+)
+
+var scale = flag.Int("scale", 1, "workload scale factor")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && strings.EqualFold(args[0], "all") {
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3", "a4"}
+	}
+	for _, id := range ids {
+		if err := run(strings.ToLower(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchlake: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] <experiment>...
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 a1 a2 a3 a4 all`)
+}
+
+func header(title string) {
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+func run(id string) error {
+	switch id {
+	case "e1":
+		res, err := exp.RunE1(*scale)
+		if err != nil {
+			return err
+		}
+		header("E1 | Figure 4: TPC-DS speedup with metadata caching (simulated wall clock)")
+		fmt.Printf("%-6s %-10s %14s %14s %10s\n", "query", "kind", "cache off", "cache on", "speedup")
+		for _, r := range res.Rows {
+			fmt.Printf("%-6s %-10s %14s %14s %9.2fx\n", r.QueryID, r.Kind, r.CacheOff, r.CacheOn, r.Speedup)
+		}
+		fmt.Printf("%-6s %-10s %14s %14s %9.2fx   (paper: ~4x overall)\n",
+			"TOTAL", "", res.TotalOff, res.TotalOn, res.OverallSpeedup)
+	case "e2":
+		res, err := exp.RunE2(60000 * *scale)
+		if err != nil {
+			return err
+		}
+		header("E2 | §3.4: vectorized vs row-oriented Read API (real CPU time)")
+		fmt.Printf("rows=%d  vectorized=%v  row-oriented=%v  gain=%.2fx  (paper: ~2x throughput)\n",
+			res.Rows, res.VectorizedTime, res.RowOrientedTime, res.ThroughputGain)
+	case "e3":
+		res, err := exp.RunE3(*scale)
+		if err != nil {
+			return err
+		}
+		header("E3 | §3.4: read-session statistics improve external-engine plans")
+		fmt.Printf("%-6s %14s %14s %10s\n", "plan", "blind", "with stats", "speedup")
+		for _, r := range res.Rows {
+			fmt.Printf("%-6s %14s %14s %9.2fx\n", r.QueryID, r.Blind, r.WithStat, r.Speedup)
+		}
+		fmt.Printf("overall %.2fx  (paper: 5x on TPC-DS)\n", res.OverallSpeedup)
+	case "e4":
+		res, err := exp.RunE4(*scale)
+		if err != nil {
+			return err
+		}
+		header("E4 | §3.4: external engine via Read API vs direct object-store reads (TPC-H)")
+		fmt.Printf("%-10s %14s %14s %18s\n", "plan", "direct", "read api", "direct/api ratio")
+		for _, r := range res.Rows {
+			fmt.Printf("%-10s %14s %14s %17.2fx\n", r.QueryID, r.Direct, r.ReadAPI, r.Ratio)
+		}
+		fmt.Println("(paper: Read API matches or exceeds the direct baseline)")
+	case "e5":
+		res, err := exp.RunE5(30 * *scale)
+		if err != nil {
+			return err
+		}
+		header("E5 | §3.5: BLMT commit throughput vs object-store-committed formats")
+		fmt.Printf("commits=%d  blmt=%.1f/s  objstore=%.1f/s  advantage=%.1fx  read-after=%v\n",
+			res.Commits, res.BLMTPerSecond, res.ObjStorePerSecond, res.ThroughputAdvantage, res.ReadAfterCommits)
+		fmt.Println("(paper: object stores allow only a handful of mutations per second)")
+	case "e6":
+		res, err := exp.RunE6(5000 * *scale)
+		if err != nil {
+			return err
+		}
+		header("E6 | §4.1: object-table inventory vs direct listing")
+		fmt.Printf("objects=%d  direct-list=%v  object-table=%v  speedup=%.0fx\n",
+			res.Objects, res.DirectList, res.ObjectTable, res.ListSpeedup)
+		fmt.Printf("1%% sample: %d rows in %v  (paper: two lines of SQL, seconds not hours)\n",
+			res.SampleRows, res.SampleTime)
+	case "e7":
+		res, err := exp.RunE7(16 * *scale)
+		if err != nil {
+			return err
+		}
+		header("E7 | Figure 7: distributed preprocess/infer split")
+		fmt.Printf("images=%d  colocated-peak=%dB  split-peak=%dB  reduction=%.2fx\n",
+			res.Images, res.ColocatedPeakBytes, res.SplitPeakBytes, res.MemoryReduction)
+		fmt.Printf("raw-image-bytes=%d  tensor-wire-bytes=%d  (%.0fx smaller on the wire)\n",
+			res.RawImageBytes, res.TensorWireBytes, res.WireReductionFactor)
+	case "e8":
+		res, err := exp.RunE8(5, 8**scale)
+		if err != nil {
+			return err
+		}
+		header("E8 | §4.2: in-engine vs external inference under burst")
+		fmt.Printf("queries=%d  in-engine=%v  remote=%v  penalty=%.2fx  big-model-rejected=%v\n",
+			res.Queries, res.InEngineTime, res.RemoteTime, res.RemotePenalty, res.BigModelRejected)
+	case "e9":
+		res, err := exp.RunE9(*scale)
+		if err != nil {
+			return err
+		}
+		header("E9 | §5.4: Dremel performance parity across clouds (TPC-H)")
+		fmt.Printf("%-6s %14s %14s %10s\n", "query", "gcp", "aws", "aws/gcp")
+		for _, r := range res.Rows {
+			fmt.Printf("%-6s %14s %14s %9.2fx\n", r.QueryID, r.GCP, r.AWS, r.Ratio)
+		}
+	case "e10":
+		res, err := exp.RunE10(100**scale, 1000**scale)
+		if err != nil {
+			return err
+		}
+		header("E10 | §5.6.1: cross-cloud join with filter pushdown (A5 = pushdown off)")
+		fmt.Printf("pushdown: egress=%dB time=%v\n", res.PushdownEgress, res.PushdownTime)
+		fmt.Printf("full ship: egress=%dB time=%v\n", res.FullEgress, res.FullTime)
+		fmt.Printf("egress reduction=%.1fx  answers-agree=%v\n", res.EgressReduction, res.AnswersAgree)
+	case "e11":
+		res, err := exp.RunE11(5**scale, 100)
+		if err != nil {
+			return err
+		}
+		header("E11 | §5.6.2: CCMV incremental vs full replication")
+		fmt.Printf("incremental: files=%d bytes=%d\n", res.IncrementalFiles, res.IncrementalBytes)
+		fmt.Printf("full:        files=%d bytes=%d\n", res.FullFiles, res.FullBytes)
+		fmt.Printf("egress reduction=%.1fx  replica-correct=%v\n", res.EgressReduction, res.ReplicaRowsCorrect)
+	case "e12":
+		res, err := exp.RunE12()
+		if err != nil {
+			return err
+		}
+		header("E12 | §3.2: uniform governance across engines (zero-trust boundary)")
+		fmt.Printf("engine rows=%d  read-api rows=%d  rows-agree=%v  masking-agrees=%v\n",
+			res.EngineRows, res.ReadAPIRows, res.RowsAgree, res.MaskingAgrees)
+		fmt.Printf("hostile-read-denied=%v  denied-column-fails=%v\n",
+			res.HostileReadDenied, res.DeniedColumnFails)
+	case "a1":
+		res, err := exp.RunA1(*scale)
+		if err != nil {
+			return err
+		}
+		header("A1 | ablation: file-level statistics vs partition-only pruning")
+		fmt.Printf("files=%d  scanned(partition-only)=%d  scanned(file-stats)=%d  gain=%.1fx\n",
+			res.FilesTotal, res.ScannedPartOnly, res.ScannedFileStats, res.GranularityGain)
+	case "a2":
+		res, err := exp.RunA2(4000 * *scale)
+		if err != nil {
+			return err
+		}
+		header("A2 | ablation: governance at the Read API boundary vs client-side")
+		fmt.Printf("rows=%d visible=%d  client-side bytes=%d (raw rows leak to the engine)\n",
+			res.TotalRows, res.VisibleRows, res.ClientSideBytes)
+		fmt.Printf("boundary bytes=%d  exposure reduction=%.1fx  raw-leaked=%v\n",
+			res.BoundaryBytes, res.ExposureReduction, res.RawLeaked)
+	case "a3":
+		res, err := exp.RunA3(2000 * *scale)
+		if err != nil {
+			return err
+		}
+		header("A3 | ablation: baseline-reconciled snapshot reads vs full log replay")
+		fmt.Printf("commits=%d  baseline=%dns/read  replay=%dns/read  speedup=%.1fx\n",
+			res.Commits, res.BaselineNanos, res.ReplayNanos, res.Speedup)
+	case "a4":
+		res, err := exp.RunA4(20000 * *scale)
+		if err != nil {
+			return err
+		}
+		header("A4 | ablation: dictionary/RLE retention on the ReadRows wire")
+		fmt.Printf("plain=%dB  encoded=%dB  reduction=%.1fx\n", res.PlainBytes, res.EncodedBytes, res.Reduction)
+	default:
+		usage()
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

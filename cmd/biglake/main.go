@@ -1,0 +1,175 @@
+// Command biglake is a small SQL shell over a single-region lakehouse
+// deployment. It can bootstrap a demo dataset (a managed table, a
+// BigLake table over open files, and an object table of images) and
+// then execute SQL from -sql flags or stdin.
+//
+//	biglake -demo -sql "SELECT region, SUM(amount) AS total FROM demo.orders GROUP BY region"
+//	echo "SELECT * FROM demo.orders LIMIT 5" | biglake -demo
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"biglake"
+	"biglake/internal/colfmt"
+	"biglake/internal/mlmodel"
+	"biglake/internal/sim"
+	"biglake/internal/vector"
+)
+
+var (
+	demo      = flag.Bool("demo", false, "bootstrap the demo dataset before running")
+	sqlFlag   = flag.String("sql", "", "semicolon-separated SQL statements to run")
+	principal = flag.String("principal", "admin@biglake", "principal to run as")
+)
+
+func main() {
+	flag.Parse()
+	lh, err := biglake.New(biglake.Options{Admin: "admin@biglake"})
+	if err != nil {
+		fatal(err)
+	}
+	if *demo {
+		if err := loadDemo(lh); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "demo dataset loaded: demo.orders (managed), demo.events (biglake), demo.images (object table), model demo.classifier")
+	}
+
+	stmts := splitStatements(*sqlFlag)
+	if len(stmts) == 0 {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		var input strings.Builder
+		for scanner.Scan() {
+			input.WriteString(scanner.Text())
+			input.WriteByte('\n')
+		}
+		stmts = splitStatements(input.String())
+	}
+	for _, stmt := range stmts {
+		res, err := lh.Query(biglake.Principal(*principal), stmt)
+		if err != nil {
+			fatal(err)
+		}
+		printBatch(res.Batch)
+		fmt.Printf("(%d rows, %d files scanned, %d pruned, %v simulated)\n\n",
+			res.Batch.N, res.Stats.FilesScanned, res.Stats.FilesPruned, res.Stats.SimElapsed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "biglake:", err)
+	os.Exit(1)
+}
+
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}
+
+func printBatch(b *biglake.Batch) {
+	names := make([]string, len(b.Schema.Fields))
+	for i, f := range b.Schema.Fields {
+		names[i] = f.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	limit := b.N
+	if limit > 50 {
+		limit = 50
+	}
+	for i := 0; i < limit; i++ {
+		row := b.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if limit < b.N {
+		fmt.Printf("... (%d more rows)\n", b.N-limit)
+	}
+}
+
+// loadDemo provisions a small multi-table playground.
+func loadDemo(lh *biglake.Lakehouse) error {
+	if err := lh.CreateDataset("demo"); err != nil {
+		return err
+	}
+	// Managed table with DML.
+	ordersSchema := biglake.NewSchema(
+		biglake.Field{Name: "id", Type: biglake.Int64},
+		biglake.Field{Name: "region", Type: biglake.String},
+		biglake.Field{Name: "amount", Type: biglake.Float64},
+	)
+	if err := lh.CreateManagedTable("admin@biglake", "demo", "orders", ordersSchema, "bq-managed"); err != nil {
+		return err
+	}
+	if _, err := lh.Query("admin@biglake",
+		"INSERT INTO demo.orders VALUES (1, 'us', 10.5), (2, 'eu', 20.0), (3, 'us', 5.0), (4, 'jp', 8.25)"); err != nil {
+		return err
+	}
+
+	// BigLake table over open-format files on a customer bucket.
+	if err := lh.CreateBucket("customer-lake"); err != nil {
+		return err
+	}
+	if _, err := lh.CreateConnection("lake-conn", "customer-lake"); err != nil {
+		return err
+	}
+	eventsSchema := biglake.NewSchema(
+		biglake.Field{Name: "event_id", Type: biglake.Int64},
+		biglake.Field{Name: "kind", Type: biglake.String},
+	)
+	bl := vector.NewBuilder(eventsSchema)
+	for i := 0; i < 100; i++ {
+		bl.Append(biglake.IntValue(int64(i)), biglake.StringValue([]string{"click", "view", "buy"}[i%3]))
+	}
+	file, err := colfmt.WriteFile(bl.Build(), colfmt.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	if err := lh.Upload("customer-lake", "events/part-0.blk", file, "application/x-blk"); err != nil {
+		return err
+	}
+	if err := lh.CreateBigLakeTable("admin@biglake", biglake.BigLakeTableSpec{
+		Dataset: "demo", Name: "events", Schema: eventsSchema,
+		Bucket: "customer-lake", Prefix: "events/", Connection: "lake-conn", MetadataCaching: true,
+	}); err != nil {
+		return err
+	}
+
+	// Object table + classifier.
+	if err := lh.CreateBucket("media"); err != nil {
+		return err
+	}
+	rng := sim.NewRNG(1)
+	classes := []string{"dark", "dim", "bright", "blinding"}
+	for i := 0; i < 8; i++ {
+		img := mlmodel.RandomImage(rng, 64, 64, i%len(classes), len(classes))
+		enc, err := mlmodel.EncodeImage(img)
+		if err != nil {
+			return err
+		}
+		if err := lh.Upload("media", fmt.Sprintf("imgs/i%02d.jpg", i), enc, "image/jpeg"); err != nil {
+			return err
+		}
+	}
+	if err := lh.CreateObjectTable("admin@biglake", "demo", "images", "media", "imgs/"); err != nil {
+		return err
+	}
+	lh.Inference.RegisterModel(&biglake.Model{
+		Name:       "demo.classifier",
+		Classifier: biglake.NewClassifier("classifier", 16, 16, classes, 42),
+	})
+	return nil
+}

@@ -1,0 +1,3 @@
+module biglake
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package catalog implements BigQuery's logical catalog: datasets and
+// table definitions. For BigLake tables the catalog — not
+// self-describing files — is the source of truth for schema,
+// location, connection and governance attachment (§3), which is what
+// makes fine-grained security enforceable. The catalog lives in the
+// control plane; Omni regions consult it cross-region (§5.6.1
+// "BigQuery cross-region metadata availability").
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"biglake/internal/vector"
+)
+
+// Errors returned by catalog operations.
+var (
+	ErrNotFound      = errors.New("catalog: not found")
+	ErrAlreadyExists = errors.New("catalog: already exists")
+	ErrInvalid       = errors.New("catalog: invalid definition")
+)
+
+// TableType distinguishes the storage/feature tiers a table can have.
+type TableType int
+
+// Table types, in historical order of introduction (§2.1, §3).
+const (
+	// Native tables live in BigQuery managed storage.
+	Native TableType = iota
+	// External tables are the legacy read-only in-situ tables:
+	// self-describing files, user-credential access, no governance,
+	// no acceleration.
+	External
+	// BigLake tables are external data promoted to first-class
+	// citizens: delegated access, fine-grained governance, metadata
+	// caching (§3.1–3.4).
+	BigLake
+	// Managed tables (BLMTs) are fully managed tables in open format
+	// on customer buckets (§3.5).
+	Managed
+	// Object tables expose object-store metadata over unstructured
+	// data as rows (§4.1).
+	Object
+)
+
+func (t TableType) String() string {
+	switch t {
+	case Native:
+		return "NATIVE"
+	case External:
+		return "EXTERNAL"
+	case BigLake:
+		return "BIGLAKE"
+	case Managed:
+		return "MANAGED"
+	case Object:
+		return "OBJECT"
+	}
+	return "?"
+}
+
+// Dataset is a named collection of tables pinned to a region.
+type Dataset struct {
+	Name   string
+	Region string // e.g. "gcp-us", "aws-us-east-1", "azure-eastus"
+	Cloud  string // "gcp", "aws", "azure"
+}
+
+// Table is a catalog table definition.
+type Table struct {
+	Dataset string
+	Name    string
+	Type    TableType
+	Schema  vector.Schema
+
+	// Storage location for External/BigLake/Managed/Object tables.
+	Cloud  string
+	Bucket string
+	Prefix string
+
+	// Connection names the delegated-access connection (§3.1);
+	// required for BigLake, Managed, and Object tables.
+	Connection string
+
+	// PartitionColumn, if set, names the hive-style partition key
+	// encoded in file paths (prefix/<col>=<val>/file).
+	PartitionColumn string
+
+	// MetadataCaching enables Big Metadata acceleration (§3.3).
+	MetadataCaching bool
+	// MetadataStaleness bounds how old the cached metadata may be
+	// before the engine triggers a background refresh (0 = refresh
+	// only on demand).
+	MetadataStaleness time.Duration
+
+	CreatedAt time.Duration
+}
+
+// FullName returns "dataset.table".
+func (t Table) FullName() string { return t.Dataset + "." + t.Name }
+
+// RequiresConnection reports whether this table type must carry a
+// delegated-access connection.
+func (t Table) RequiresConnection() bool {
+	switch t.Type {
+	case BigLake, Managed, Object:
+		return true
+	}
+	return false
+}
+
+// ObjectTableSchema is the fixed schema Object tables expose (§4.1):
+// one row per object with its attributes.
+func ObjectTableSchema() vector.Schema {
+	return vector.NewSchema(
+		vector.Field{Name: "uri", Type: vector.String},
+		vector.Field{Name: "size", Type: vector.Int64},
+		vector.Field{Name: "content_type", Type: vector.String},
+		vector.Field{Name: "create_time", Type: vector.Timestamp},
+		vector.Field{Name: "update_time", Type: vector.Timestamp},
+		vector.Field{Name: "generation", Type: vector.Int64},
+	)
+}
+
+// Catalog is the metadata service. It is safe for concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	datasets map[string]Dataset
+	tables   map[string]Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		datasets: make(map[string]Dataset),
+		tables:   make(map[string]Table),
+	}
+}
+
+// CreateDataset registers a dataset.
+func (c *Catalog) CreateDataset(d Dataset) error {
+	if d.Name == "" {
+		return fmt.Errorf("%w: dataset needs a name", ErrInvalid)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[d.Name]; ok {
+		return fmt.Errorf("%w: dataset %q", ErrAlreadyExists, d.Name)
+	}
+	c.datasets[d.Name] = d
+	return nil
+}
+
+// Dataset looks up a dataset.
+func (c *Catalog) Dataset(name string) (Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.datasets[name]
+	if !ok {
+		return Dataset{}, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
+	}
+	return d, nil
+}
+
+// CreateTable validates and registers a table definition.
+func (c *Catalog) CreateTable(t Table) error {
+	if t.Dataset == "" || t.Name == "" {
+		return fmt.Errorf("%w: table needs dataset and name", ErrInvalid)
+	}
+	if strings.Contains(t.Name, ".") {
+		return fmt.Errorf("%w: table name %q must not contain '.'", ErrInvalid, t.Name)
+	}
+	if t.RequiresConnection() && t.Connection == "" {
+		return fmt.Errorf("%w: %s tables require a connection", ErrInvalid, t.Type)
+	}
+	if t.Type == Object {
+		t.Schema = ObjectTableSchema()
+	}
+	if t.Schema.Len() == 0 {
+		return fmt.Errorf("%w: table %s has no schema", ErrInvalid, t.FullName())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[t.Dataset]; !ok {
+		return fmt.Errorf("%w: dataset %q", ErrNotFound, t.Dataset)
+	}
+	key := t.FullName()
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("%w: table %q", ErrAlreadyExists, key)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table resolves "dataset.table".
+func (c *Catalog) Table(fullName string) (Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[fullName]
+	if !ok {
+		return Table{}, fmt.Errorf("%w: table %q", ErrNotFound, fullName)
+	}
+	return t, nil
+}
+
+// DropTable removes a table definition.
+func (c *Catalog) DropTable(fullName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[fullName]; !ok {
+		return fmt.Errorf("%w: table %q", ErrNotFound, fullName)
+	}
+	delete(c.tables, fullName)
+	return nil
+}
+
+// UpdateTable replaces an existing definition (schema evolution,
+// toggling metadata caching, ...).
+func (c *Catalog) UpdateTable(t Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := t.FullName()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("%w: table %q", ErrNotFound, key)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// ListTables returns the sorted full names of tables in a dataset.
+func (c *Catalog) ListTables(dataset string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for name, t := range c.tables {
+		if t.Dataset == dataset {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionOf returns the region hosting a table's dataset.
+func (c *Catalog) RegionOf(fullName string) (string, error) {
+	t, err := c.Table(fullName)
+	if err != nil {
+		return "", err
+	}
+	d, err := c.Dataset(t.Dataset)
+	if err != nil {
+		return "", err
+	}
+	return d.Region, nil
+}

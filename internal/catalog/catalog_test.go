@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"biglake/internal/vector"
+)
+
+func simpleSchema() vector.Schema {
+	return vector.NewSchema(vector.Field{Name: "id", Type: vector.Int64})
+}
+
+func newCat(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.CreateDataset(Dataset{Name: "ds", Region: "gcp-us", Cloud: "gcp"}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	c := newCat(t)
+	d, err := c.Dataset("ds")
+	if err != nil || d.Region != "gcp-us" {
+		t.Fatalf("dataset = %+v, %v", d, err)
+	}
+	if err := c.CreateDataset(Dataset{Name: "ds"}); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("dup dataset: %v", err)
+	}
+	if err := c.CreateDataset(Dataset{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty dataset: %v", err)
+	}
+	if _, err := c.Dataset("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing dataset: %v", err)
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := newCat(t)
+	base := Table{Dataset: "ds", Name: "t", Type: BigLake, Schema: simpleSchema(),
+		Cloud: "gcp", Bucket: "b", Prefix: "p/", Connection: "conn"}
+	if err := c.CreateTable(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(base); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("dup table: %v", err)
+	}
+	noConn := base
+	noConn.Name, noConn.Connection = "t2", ""
+	if err := c.CreateTable(noConn); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("biglake without connection: %v", err)
+	}
+	noSchema := base
+	noSchema.Name, noSchema.Schema = "t3", vector.Schema{}
+	if err := c.CreateTable(noSchema); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no schema: %v", err)
+	}
+	badDs := base
+	badDs.Dataset = "ghost"
+	if err := c.CreateTable(badDs); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing dataset: %v", err)
+	}
+	dotted := base
+	dotted.Name = "a.b"
+	if err := c.CreateTable(dotted); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("dotted name: %v", err)
+	}
+}
+
+func TestExternalTableNeedsNoConnection(t *testing.T) {
+	c := newCat(t)
+	err := c.CreateTable(Table{Dataset: "ds", Name: "ext", Type: External,
+		Schema: simpleSchema(), Cloud: "gcp", Bucket: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectTableGetsFixedSchema(t *testing.T) {
+	c := newCat(t)
+	err := c.CreateTable(Table{Dataset: "ds", Name: "objs", Type: Object,
+		Cloud: "gcp", Bucket: "b", Connection: "conn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Table("ds.objs")
+	if got.Schema.Index("uri") < 0 || got.Schema.Index("content_type") < 0 {
+		t.Fatalf("object schema = %v", got.Schema)
+	}
+	if !got.Schema.Equal(ObjectTableSchema()) {
+		t.Fatal("object table schema should be the fixed one")
+	}
+}
+
+func TestTableLookupAndDrop(t *testing.T) {
+	c := newCat(t)
+	c.CreateTable(Table{Dataset: "ds", Name: "t", Type: Native, Schema: simpleSchema()})
+	got, err := c.Table("ds.t")
+	if err != nil || got.FullName() != "ds.t" {
+		t.Fatalf("lookup: %+v, %v", got, err)
+	}
+	if err := c.DropTable("ds.t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("ds.t"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after drop: %v", err)
+	}
+	if err := c.DropTable("ds.t"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestUpdateTable(t *testing.T) {
+	c := newCat(t)
+	tab := Table{Dataset: "ds", Name: "t", Type: Native, Schema: simpleSchema()}
+	c.CreateTable(tab)
+	tab.MetadataCaching = true
+	if err := c.UpdateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Table("ds.t")
+	if !got.MetadataCaching {
+		t.Fatal("update lost")
+	}
+	ghost := Table{Dataset: "ds", Name: "ghost", Schema: simpleSchema()}
+	if err := c.UpdateTable(ghost); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+}
+
+func TestListTables(t *testing.T) {
+	c := newCat(t)
+	c.CreateDataset(Dataset{Name: "other", Region: "aws-us-east-1", Cloud: "aws"})
+	c.CreateTable(Table{Dataset: "ds", Name: "b", Type: Native, Schema: simpleSchema()})
+	c.CreateTable(Table{Dataset: "ds", Name: "a", Type: Native, Schema: simpleSchema()})
+	c.CreateTable(Table{Dataset: "other", Name: "x", Type: Native, Schema: simpleSchema()})
+	got := c.ListTables("ds")
+	if len(got) != 2 || got[0] != "ds.a" || got[1] != "ds.b" {
+		t.Fatalf("list = %v", got)
+	}
+	if len(c.ListTables("empty")) != 0 {
+		t.Fatal("empty dataset list")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	c := newCat(t)
+	c.CreateDataset(Dataset{Name: "aws_ds", Region: "aws-us-east-1", Cloud: "aws"})
+	c.CreateTable(Table{Dataset: "aws_ds", Name: "orders", Type: BigLake,
+		Schema: simpleSchema(), Cloud: "aws", Bucket: "b", Connection: "conn"})
+	region, err := c.RegionOf("aws_ds.orders")
+	if err != nil || region != "aws-us-east-1" {
+		t.Fatalf("region = %q, %v", region, err)
+	}
+	if _, err := c.RegionOf("ghost.t"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestTableTypeStrings(t *testing.T) {
+	for ty, want := range map[TableType]string{
+		Native: "NATIVE", External: "EXTERNAL", BigLake: "BIGLAKE", Managed: "MANAGED", Object: "OBJECT",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q", ty, ty.String())
+		}
+	}
+}

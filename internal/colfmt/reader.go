@@ -1,0 +1,336 @@
+package colfmt
+
+import (
+	"fmt"
+
+	"biglake/internal/vector"
+)
+
+// Predicate is a simple pushdown predicate `Column Op Value` used for
+// row-group skipping and row filtering during scans.
+type Predicate struct {
+	Column string
+	Op     vector.CmpOp
+	Value  vector.Value
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Value)
+}
+
+// StatsCanSatisfy reports whether a chunk with the given stats could
+// contain rows satisfying the predicate; false means the whole group
+// can be skipped.
+func (p Predicate) StatsCanSatisfy(st ColumnStats) bool {
+	min, max := st.Min.ToValue(), st.Max.ToValue()
+	if min.IsNull() || max.IsNull() {
+		// All-null or unknown stats: only NULL rows exist or we cannot
+		// prune; predicates never match NULL, but without reliable
+		// stats we conservatively keep the group when stats are
+		// unknown. All-null groups (Min null with Nulls>0) are
+		// skippable for any comparison.
+		return !(min.IsNull() && max.IsNull() && st.Nulls > 0)
+	}
+	switch p.Op {
+	case vector.EQ:
+		return p.Value.Compare(min) >= 0 && p.Value.Compare(max) <= 0
+	case vector.NE:
+		// Only skippable if every row equals Value.
+		return !(min.Compare(max) == 0 && min.Compare(p.Value) == 0 && st.Nulls == 0)
+	case vector.LT:
+		return min.Compare(p.Value) < 0
+	case vector.LE:
+		return min.Compare(p.Value) <= 0
+	case vector.GT:
+		return max.Compare(p.Value) > 0
+	case vector.GE:
+		return max.Compare(p.Value) >= 0
+	}
+	return true
+}
+
+// EvalPredicates computes the conjunction of predicates over a batch.
+func EvalPredicates(b *vector.Batch, preds []Predicate) ([]bool, error) {
+	mask := make([]bool, b.N)
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, p := range preds {
+		c := b.Column(p.Column)
+		if c == nil {
+			return nil, fmt.Errorf("colfmt: predicate column %q not in batch", p.Column)
+		}
+		mask = vector.And(mask, vector.CompareConst(c, p.Op, p.Value))
+	}
+	return mask, nil
+}
+
+// VectorizedReader scans a file emitting encoded columnar batches,
+// using footer stats to skip row groups that cannot satisfy the
+// predicates. This is the reader of §3.4's second generation: column
+// chunks flow into vectorized evaluation without ever becoming rows.
+type VectorizedReader struct {
+	file    []byte
+	footer  *Footer
+	columns []string
+	preds   []Predicate
+	group   int
+	// GroupsRead counts row groups actually decoded (observability
+	// for pruning tests).
+	GroupsRead int
+	// GroupsSkipped counts stat-pruned row groups.
+	GroupsSkipped int
+}
+
+// NewVectorizedReader opens a reader over complete file bytes. columns
+// nil means all columns; preds are applied as both group-skip
+// conditions and row filters.
+func NewVectorizedReader(file []byte, columns []string, preds []Predicate) (*VectorizedReader, error) {
+	footer, err := ReadFooter(file)
+	if err != nil {
+		return nil, err
+	}
+	schema := footer.Schema()
+	if columns == nil {
+		for _, f := range schema.Fields {
+			columns = append(columns, f.Name)
+		}
+	}
+	need := map[string]bool{}
+	for _, c := range columns {
+		if schema.Index(c) < 0 {
+			return nil, fmt.Errorf("colfmt: unknown column %q", c)
+		}
+		need[c] = true
+	}
+	for _, p := range preds {
+		if schema.Index(p.Column) < 0 {
+			return nil, fmt.Errorf("colfmt: unknown predicate column %q", p.Column)
+		}
+	}
+	return &VectorizedReader{file: file, footer: footer, columns: columns, preds: preds}, nil
+}
+
+// Schema returns the projected output schema.
+func (r *VectorizedReader) Schema() vector.Schema {
+	full := r.footer.Schema()
+	out, _ := full.Select(r.columns)
+	return out
+}
+
+// Next returns the next batch, or nil when the file is exhausted.
+// Returned batches have predicates already applied.
+func (r *VectorizedReader) Next() (*vector.Batch, error) {
+	for r.group < len(r.footer.RowGroups) {
+		rg := r.footer.RowGroups[r.group]
+		r.group++
+
+		skip := false
+		for _, p := range r.preds {
+			for _, ch := range rg.Chunks {
+				if ch.Column == p.Column && !p.StatsCanSatisfy(ch.Stats) {
+					skip = true
+				}
+			}
+		}
+		if skip {
+			r.GroupsSkipped++
+			continue
+		}
+		r.GroupsRead++
+
+		// Decode only projected + predicate columns.
+		needed := map[string]bool{}
+		for _, c := range r.columns {
+			needed[c] = true
+		}
+		for _, p := range r.preds {
+			needed[p.Column] = true
+		}
+		cols := map[string]*vector.Column{}
+		for _, ch := range rg.Chunks {
+			if !needed[ch.Column] {
+				continue
+			}
+			c, err := ReadChunk(r.file, ch)
+			if err != nil {
+				return nil, err
+			}
+			cols[ch.Column] = c
+		}
+
+		// Evaluate predicates on encoded columns.
+		var mask []bool
+		if len(r.preds) > 0 {
+			mask = make([]bool, int(rg.Rows))
+			for i := range mask {
+				mask[i] = true
+			}
+			for _, p := range r.preds {
+				mask = vector.And(mask, vector.CompareConst(cols[p.Column], p.Op, p.Value))
+			}
+		}
+
+		schema := r.Schema()
+		outCols := make([]*vector.Column, len(r.columns))
+		for i, name := range r.columns {
+			outCols[i] = cols[name]
+		}
+		batch, err := vector.NewBatch(schema, outCols)
+		if err != nil {
+			return nil, err
+		}
+		if mask != nil {
+			if vector.CountMask(mask) == 0 {
+				continue
+			}
+			batch, err = vector.Filter(batch, mask)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return batch, nil
+	}
+	return nil, nil
+}
+
+// ReadAll drains the reader into one concatenated batch (possibly
+// empty).
+func (r *VectorizedReader) ReadAll() (*vector.Batch, error) {
+	var out *vector.Batch
+	for {
+		b, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out, err = vector.AppendBatch(out, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		out = vector.EmptyBatch(r.Schema())
+	}
+	return out, nil
+}
+
+// RowReader is the deliberately row-oriented baseline reader (§3.4
+// first prototype): every row group is fully decoded, every row is
+// materialized as boxed values, predicates are evaluated row-at-a-time
+// and the surviving rows are re-columnarized by the caller.
+type RowReader struct {
+	file   []byte
+	footer *Footer
+	schema vector.Schema
+	group  int
+	rows   [][]vector.Value
+	pos    int
+	preds  []Predicate
+	cols   []string
+}
+
+// NewRowReader opens the row-oriented reader.
+func NewRowReader(file []byte, columns []string, preds []Predicate) (*RowReader, error) {
+	footer, err := ReadFooter(file)
+	if err != nil {
+		return nil, err
+	}
+	schema := footer.Schema()
+	if columns == nil {
+		for _, f := range schema.Fields {
+			columns = append(columns, f.Name)
+		}
+	}
+	for _, c := range columns {
+		if schema.Index(c) < 0 {
+			return nil, fmt.Errorf("colfmt: unknown column %q", c)
+		}
+	}
+	return &RowReader{file: file, footer: footer, schema: schema, preds: preds, cols: columns}, nil
+}
+
+// Schema returns the projected output schema.
+func (r *RowReader) Schema() vector.Schema {
+	out, _ := r.schema.Select(r.cols)
+	return out
+}
+
+// Next returns the next row (projected), or nil at EOF. No row-group
+// skipping: the baseline reader peeks at data to decide, as pre-cache
+// engines did.
+func (r *RowReader) Next() ([]vector.Value, error) {
+	for {
+		if r.pos < len(r.rows) {
+			row := r.rows[r.pos]
+			r.pos++
+			return row, nil
+		}
+		if r.group >= len(r.footer.RowGroups) {
+			return nil, nil
+		}
+		rg := r.footer.RowGroups[r.group]
+		r.group++
+
+		// Decode every chunk fully (row-oriented readers reassemble
+		// whole records).
+		cols := make([]*vector.Column, len(r.schema.Fields))
+		for i, f := range r.schema.Fields {
+			for _, ch := range rg.Chunks {
+				if ch.Column == f.Name {
+					c, err := ReadChunk(r.file, ch)
+					if err != nil {
+						return nil, err
+					}
+					cols[i] = c.Decode()
+				}
+			}
+		}
+		projIdx := make([]int, len(r.cols))
+		for i, name := range r.cols {
+			projIdx[i] = r.schema.Index(name)
+		}
+		r.rows = r.rows[:0]
+		r.pos = 0
+		for i := 0; i < int(rg.Rows); i++ {
+			keep := true
+			for _, p := range r.preds {
+				ci := r.schema.Index(p.Column)
+				v := cols[ci].Value(i)
+				if v.IsNull() || !p.Op.Eval(v.Compare(p.Value)) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			row := make([]vector.Value, len(projIdx))
+			for j, ci := range projIdx {
+				row[j] = cols[ci].Value(i)
+			}
+			r.rows = append(r.rows, row)
+		}
+	}
+}
+
+// ReadAllColumnar drains the row reader and converts the rows back to
+// a columnar batch — the translation penalty the vectorized reader
+// removed.
+func (r *RowReader) ReadAllColumnar() (*vector.Batch, error) {
+	bl := vector.NewBuilder(r.Schema())
+	for {
+		row, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		bl.Append(row...)
+	}
+	return bl.Build(), nil
+}

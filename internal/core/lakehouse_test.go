@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"biglake/internal/catalog"
+	"biglake/internal/objstore"
+	"biglake/internal/security"
+	"biglake/internal/vector"
+)
+
+const admin = security.Principal("admin@test")
+
+func newLH(t *testing.T) *Lakehouse {
+	t.Helper()
+	lh, err := New(Options{Admin: admin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lh
+}
+
+func TestNewDefaults(t *testing.T) {
+	lh, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh.Cloud() != "gcp" || lh.Admin != "admin@biglake" {
+		t.Fatalf("defaults: cloud=%q admin=%q", lh.Cloud(), lh.Admin)
+	}
+	// The default connection exists and managed storage is provisioned.
+	if _, err := lh.Auth.Connection("default"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.Catalog.Dataset("_system"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOnForeignCloud(t *testing.T) {
+	lh, err := New(Options{Cloud: "aws", Admin: admin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh.Cloud() != "aws" || lh.Store.Profile().Name != "aws" {
+		t.Fatalf("cloud = %q profile = %q", lh.Cloud(), lh.Store.Profile().Name)
+	}
+}
+
+func TestCreateConnectionGrantsBucketAccess(t *testing.T) {
+	lh := newLH(t)
+	if err := lh.CreateBucket("b1"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := lh.CreateConnection("c1", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Upload("b1", "k", []byte("v"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lh.Store.Get(conn.ServiceAccount, "b1", "k"); err != nil {
+		t.Fatalf("connection SA read: %v", err)
+	}
+	// A different connection's SA has no access.
+	other, _ := lh.CreateConnection("c2")
+	if _, _, err := lh.Store.Get(other.ServiceAccount, "b1", "k"); !errors.Is(err, objstore.ErrAccessDenied) {
+		t.Fatalf("ungranted SA read: %v", err)
+	}
+}
+
+func TestCreateTableHelpersSetTypes(t *testing.T) {
+	lh := newLH(t)
+	lh.CreateDataset("d")
+	lh.CreateBucket("b")
+	lh.CreateConnection("c", "b")
+	schema := simpleSchema()
+	if err := lh.CreateBigLakeTable(admin, BigLakeTableSpec{
+		Dataset: "d", Name: "bl", Schema: schema, Bucket: "b", Prefix: "bl/",
+		Connection: "c", MetadataCaching: true, MetadataStaleness: time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.CreateManagedTable(admin, "d", "m", schema, "bq-managed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.CreateObjectTable(admin, "d", "o", "b", "objs/"); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]catalog.TableType{
+		"d.bl": catalog.BigLake, "d.m": catalog.Managed, "d.o": catalog.Object,
+	} {
+		tab, err := lh.Catalog.Table(name)
+		if err != nil || tab.Type != want {
+			t.Fatalf("%s type = %v, %v", name, tab.Type, err)
+		}
+	}
+	tab, _ := lh.Catalog.Table("d.bl")
+	if tab.MetadataStaleness != time.Minute {
+		t.Fatal("staleness lost")
+	}
+}
+
+func TestQuerySequencesIDs(t *testing.T) {
+	lh := newLH(t)
+	if _, err := lh.Query(admin, "SELECT 1 AS one"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.Query(admin, "SELECT 2 AS two"); err != nil {
+		t.Fatal(err)
+	}
+	if lh.Now() < 0 {
+		t.Fatal("clock")
+	}
+}
+
+func TestRefreshMetadataCacheErrors(t *testing.T) {
+	lh := newLH(t)
+	if _, err := lh.RefreshMetadataCache("ghost.t"); !errors.Is(err, catalog.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func simpleSchema() vector.Schema {
+	return vector.NewSchema(vector.Field{Name: "id", Type: vector.Int64})
+}

@@ -1,0 +1,820 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"biglake/internal/colfmt"
+	"biglake/internal/sqlparse"
+	"biglake/internal/vector"
+)
+
+// execSelect runs a SELECT statement to completion.
+func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vector.Batch, error) {
+	joined, err := e.execFromClause(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residual WHERE (pushdown is best-effort; full predicate is
+	// always enforced here).
+	if sel.Where != nil {
+		mask, err := e.evalBool(ctx, joined, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		joined, err = vector.Filter(joined, mask)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Aggregation vs plain projection.
+	hasAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if !item.Star && sqlparse.IsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	var out *vector.Batch
+	if hasAgg {
+		out, err = e.execAggregate(ctx, sel, joined)
+	} else {
+		out, err = e.execProject(ctx, sel, joined)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(sel.OrderBy) > 0 {
+		out, err = e.execOrderBy(ctx, sel, out, joined)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && int64(out.N) > sel.Limit {
+		idx := make([]int, sel.Limit)
+		for i := range idx {
+			idx[i] = i
+		}
+		cols := make([]*vector.Column, len(out.Cols))
+		for i, c := range out.Cols {
+			cols[i] = vector.Gather(c, idx)
+		}
+		out = &vector.Batch{Schema: out.Schema, Cols: cols, N: len(idx)}
+	}
+	return out, nil
+}
+
+// execFromClause evaluates the FROM clause (including joins) into one
+// qualified batch. With no FROM, a single empty row is produced so
+// constant expressions evaluate.
+func (e *Engine) execFromClause(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vector.Batch, error) {
+	if sel.From == nil {
+		one := vector.MustBatch(vector.NewSchema(vector.Field{Name: "__one", Type: vector.Int64}),
+			[]*vector.Column{vector.NewInt64Column([]int64{0})})
+		return one, nil
+	}
+
+	single := len(sel.Joins) == 0
+	qualify := !single || sel.From.Alias != ""
+
+	type source struct {
+		ref  *sqlparse.TableRef
+		join *sqlparse.Join // nil for the leading table
+	}
+	sources := []source{{ref: sel.From}}
+	for i := range sel.Joins {
+		sources = append(sources, source{ref: sel.Joins[i].Table, join: &sel.Joins[i]})
+	}
+
+	// Stats-based scan ordering for DPP: execute the most selective /
+	// smallest sources first so their join keys can prune the big fact
+	// scan. We estimate with cached table statistics when available.
+	batches := make([]*vector.Batch, len(sources))
+	order := e.scanOrder(ctx, sel, sources[0].ref, sel.Joins)
+
+	// dppRanges accumulates join-key ranges learned from executed
+	// sides, keyed by "qual.col" of the not-yet-executed side.
+	dppRanges := map[string][2]vector.Value{}
+
+	for _, idx := range order {
+		src := sources[idx]
+		preds := pushdownPreds(sel.Where, src.ref.DisplayName(), single)
+		if e.Opts.EnableDPP {
+			preds = append(preds, e.dppPredsFor(src.ref, sel, dppRanges)...)
+		}
+		b, err := e.execTableRef(ctx, src.ref, preds)
+		if err != nil {
+			return nil, err
+		}
+		if qualify {
+			b = qualifyBatch(b, src.ref.DisplayName())
+		}
+		batches[idx] = b
+		if e.Opts.EnableDPP {
+			e.recordDPPRanges(sel, src.ref, b, dppRanges)
+		}
+	}
+
+	// Fold joins left-to-right.
+	out := batches[0]
+	for i, j := range sel.Joins {
+		var err error
+		out, err = e.hashJoin(ctx, out, batches[i+1], j)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scanOrder returns source indices ordered so that sources with
+// explicit literal filters run before unfiltered ones (dimension
+// tables before facts), enabling dynamic partition pruning.
+func (e *Engine) scanOrder(ctx *QueryContext, sel *sqlparse.SelectStmt, from *sqlparse.TableRef, joins []sqlparse.Join) []int {
+	n := 1 + len(joins)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if !e.Opts.EnableDPP || n == 1 {
+		return order
+	}
+	single := false
+	filtered := func(ref *sqlparse.TableRef) bool {
+		return len(pushdownPreds(sel.Where, ref.DisplayName(), single)) > 0
+	}
+	refAt := func(i int) *sqlparse.TableRef {
+		if i == 0 {
+			return from
+		}
+		return joins[i-1].Table
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := filtered(refAt(order[a])), filtered(refAt(order[b]))
+		return fa && !fb
+	})
+	return order
+}
+
+// recordDPPRanges captures min/max of join keys on the just-executed
+// side of each join for later scans.
+func (e *Engine) recordDPPRanges(sel *sqlparse.SelectStmt, executed *sqlparse.TableRef, b *vector.Batch, ranges map[string][2]vector.Value) {
+	for _, j := range sel.Joins {
+		pairs := equiPairs(j.On)
+		for _, pr := range pairs {
+			var mine, other sqlparse.ColumnRef
+			switch executed.DisplayName() {
+			case pr[0].Table:
+				mine, other = pr[0], pr[1]
+			case pr[1].Table:
+				mine, other = pr[1], pr[0]
+			default:
+				continue
+			}
+			i, err := resolveColumn(b.Schema, mine)
+			if err != nil {
+				continue
+			}
+			min, max, _ := vector.MinMax(b.Cols[i])
+			if min.IsNull() {
+				continue
+			}
+			key := other.Table + "." + other.Name
+			ranges[key] = [2]vector.Value{min, max}
+		}
+	}
+}
+
+// dppPredsFor converts recorded join-key ranges into pushdown
+// predicates for a table about to be scanned.
+func (e *Engine) dppPredsFor(ref *sqlparse.TableRef, sel *sqlparse.SelectStmt, ranges map[string][2]vector.Value) []colfmt.Predicate {
+	var out []colfmt.Predicate
+	for key, r := range ranges {
+		i := strings.LastIndexByte(key, '.')
+		tbl, col := key[:i], key[i+1:]
+		if tbl != ref.DisplayName() {
+			continue
+		}
+		out = append(out,
+			colfmt.Predicate{Column: col, Op: vector.GE, Value: r[0]},
+			colfmt.Predicate{Column: col, Op: vector.LE, Value: r[1]},
+		)
+	}
+	return out
+}
+
+// equiPairs extracts column-equality pairs from a join condition.
+func equiPairs(on sqlparse.Expr) [][2]sqlparse.ColumnRef {
+	var out [][2]sqlparse.ColumnRef
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		bin, ok := e.(sqlparse.Binary)
+		if !ok {
+			return
+		}
+		if bin.Op == "AND" {
+			walk(bin.L)
+			walk(bin.R)
+			return
+		}
+		if bin.Op != "=" {
+			return
+		}
+		l, lok := bin.L.(sqlparse.ColumnRef)
+		r, rok := bin.R.(sqlparse.ColumnRef)
+		if lok && rok {
+			out = append(out, [2]sqlparse.ColumnRef{l, r})
+		}
+	}
+	walk(on)
+	return out
+}
+
+// execTableRef evaluates one FROM source.
+func (e *Engine) execTableRef(ctx *QueryContext, ref *sqlparse.TableRef, preds []colfmt.Predicate) (*vector.Batch, error) {
+	switch {
+	case ref.TVF != nil:
+		fn, ok := e.tvf(ref.TVF.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchFunc, ref.TVF.Name)
+		}
+		input, err := e.execTableRef(ctx, ref.TVF.Input, nil)
+		if err != nil {
+			return nil, err
+		}
+		return fn(ctx, ref.TVF.Model, input)
+	case ref.Subquery != nil:
+		return e.execSelect(ctx, ref.Subquery)
+	case ref.Name != "":
+		return e.scanTable(ctx, ref.Name, preds)
+	}
+	return nil, fmt.Errorf("%w: empty table reference", ErrSemantic)
+}
+
+// hashJoin executes an equi-join between left and right qualified
+// batches.
+func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlparse.Join) (*vector.Batch, error) {
+	pairs := equiPairs(j.On)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: JOIN requires at least one column equality, got %s", ErrUnsupported, j.On)
+	}
+	var leftKeys, rightKeys []int
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		li, errA := resolveColumn(left.Schema, a)
+		if errA != nil {
+			// a belongs to the right side; swap the pair.
+			var err error
+			li, err = resolveColumn(left.Schema, b)
+			if err != nil {
+				return nil, fmt.Errorf("%w: join key %s matches neither side", ErrSemantic, b)
+			}
+			b = a
+		}
+		ri, err := resolveColumn(right.Schema, b)
+		if err != nil {
+			return nil, err
+		}
+		leftKeys = append(leftKeys, li)
+		rightKeys = append(rightKeys, ri)
+	}
+
+	// Build on the right side (joined table); probe with the left.
+	build := make(map[string][]int, right.N)
+	for r := 0; r < right.N; r++ {
+		key, null := joinKey(right, rightKeys, r)
+		if null {
+			continue
+		}
+		build[key] = append(build[key], r)
+	}
+	var leftIdx, rightIdx []int
+	var leftOnly []int
+	for l := 0; l < left.N; l++ {
+		key, null := joinKey(left, leftKeys, l)
+		if null {
+			if j.Kind == sqlparse.LeftJoin {
+				leftOnly = append(leftOnly, l)
+			}
+			continue
+		}
+		matches := build[key]
+		if len(matches) == 0 {
+			if j.Kind == sqlparse.LeftJoin {
+				leftOnly = append(leftOnly, l)
+			}
+			continue
+		}
+		for _, r := range matches {
+			leftIdx = append(leftIdx, l)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+
+	fields := append(append([]vector.Field(nil), left.Schema.Fields...), right.Schema.Fields...)
+	cols := make([]*vector.Column, 0, len(fields))
+	totalRows := len(leftIdx) + len(leftOnly)
+	for _, c := range left.Cols {
+		full := append(append([]int(nil), leftIdx...), leftOnly...)
+		cols = append(cols, vector.Gather(c, full))
+	}
+	for _, c := range right.Cols {
+		g := vector.Gather(c, rightIdx)
+		if len(leftOnly) > 0 {
+			// Null-extend for unmatched left rows.
+			retyped := &vector.Column{Type: c.Type, Len: len(leftOnly), Enc: vector.Plain, Nulls: make([]bool, len(leftOnly))}
+			for i := range retyped.Nulls {
+				retyped.Nulls[i] = true
+			}
+			switch c.Type {
+			case vector.Int64, vector.Timestamp:
+				retyped.Ints = make([]int64, len(leftOnly))
+			case vector.Float64:
+				retyped.Floats = make([]float64, len(leftOnly))
+			case vector.Bool:
+				retyped.Bools = make([]bool, len(leftOnly))
+			case vector.String, vector.Bytes:
+				retyped.Strs = make([]string, len(leftOnly))
+			}
+			merged, err := vector.AppendBatch(
+				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{g}),
+				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{retyped}),
+			)
+			if err != nil {
+				return nil, err
+			}
+			g = merged.Cols[0]
+		}
+		cols = append(cols, g)
+	}
+	b, err := vector.NewBatch(vector.Schema{Fields: fields}, cols)
+	if err != nil {
+		return nil, err
+	}
+	if b.N != totalRows {
+		return nil, fmt.Errorf("engine: join row accounting mismatch %d != %d", b.N, totalRows)
+	}
+	return b, nil
+}
+
+func joinKey(b *vector.Batch, keys []int, row int) (string, bool) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v := b.Cols[k].Value(row)
+		if v.IsNull() {
+			return "", true
+		}
+		fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
+	}
+	return sb.String(), false
+}
+
+// execProject evaluates the projection list.
+func (e *Engine) execProject(ctx *QueryContext, sel *sqlparse.SelectStmt, in *vector.Batch) (*vector.Batch, error) {
+	var fields []vector.Field
+	var cols []*vector.Column
+	for pos, item := range sel.Items {
+		if item.Star {
+			for i, f := range in.Schema.Fields {
+				if f.Name == "__one" {
+					continue
+				}
+				name := f.Name
+				if i2 := strings.LastIndexByte(name, '.'); i2 >= 0 && in.Schema.Index(name[i2+1:]) < 0 {
+					// Unqualify when unambiguous for readable output.
+					bare := name[i2+1:]
+					conflict := false
+					for k, other := range in.Schema.Fields {
+						if k != i && strings.HasSuffix(other.Name, "."+bare) {
+							conflict = true
+						}
+					}
+					if !conflict {
+						name = bare
+					}
+				}
+				fields = append(fields, vector.Field{Name: name, Type: f.Type})
+				cols = append(cols, in.Cols[i])
+			}
+			continue
+		}
+		c, err := e.evalExpr(ctx, in, item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, vector.Field{Name: outputName(item, pos), Type: c.Type})
+		cols = append(cols, c)
+	}
+	return vector.NewBatch(vector.Schema{Fields: fields}, cols)
+}
+
+// execAggregate evaluates GROUP BY / aggregate queries.
+func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *vector.Batch) (*vector.Batch, error) {
+	// Evaluate group keys.
+	keyCols := make([]*vector.Column, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		c, err := e.evalExpr(ctx, in, g)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+
+	type group struct {
+		rows []int
+		key  []vector.Value
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+	for r := 0; r < in.N; r++ {
+		var sb strings.Builder
+		key := make([]vector.Value, len(keyCols))
+		for i, kc := range keyCols {
+			v := kc.Value(r)
+			key[i] = v
+			fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
+		}
+		ks := sb.String()
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key}
+			groups[ks] = g
+			orderKeys = append(orderKeys, ks)
+		}
+		g.rows = append(g.rows, r)
+	}
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		// Global aggregate over zero rows still yields one row.
+		groups[""] = &group{}
+		orderKeys = append(orderKeys, "")
+	}
+
+	// Pre-evaluate aggregate argument expressions once over the whole
+	// input.
+	argCols := map[string]*vector.Column{}
+	var prepare func(expr sqlparse.Expr) error
+	prepare = func(expr sqlparse.Expr) error {
+		call, ok := expr.(sqlparse.Call)
+		if !ok || !sqlparse.AggregateFuncs[call.Name] {
+			return nil
+		}
+		if call.Star || len(call.Args) == 0 {
+			return nil
+		}
+		key := call.Args[0].String()
+		if _, ok := argCols[key]; ok {
+			return nil
+		}
+		c, err := e.evalExpr(ctx, in, call.Args[0])
+		if err != nil {
+			return err
+		}
+		argCols[key] = c
+		return nil
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("%w: SELECT * with GROUP BY", ErrUnsupported)
+		}
+		if err := prepare(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// groupExprIndex maps a GROUP BY expression's rendering to its key
+	// position for non-aggregate select items.
+	groupExprIndex := map[string]int{}
+	for i, g := range sel.GroupBy {
+		groupExprIndex[g.String()] = i
+		if ref, ok := g.(sqlparse.ColumnRef); ok {
+			groupExprIndex[ref.Name] = i // allow unqualified reuse
+		}
+	}
+
+	evalItem := func(item sqlparse.SelectItem, g *group) (vector.Value, error) {
+		if call, ok := item.Expr.(sqlparse.Call); ok && sqlparse.AggregateFuncs[call.Name] {
+			return evalAggregateCall(call, g.rows, argCols, in.N)
+		}
+		if i, ok := groupExprIndex[item.Expr.String()]; ok {
+			return g.key[i], nil
+		}
+		if ref, ok := item.Expr.(sqlparse.ColumnRef); ok {
+			if i, ok := groupExprIndex[ref.Name]; ok {
+				return g.key[i], nil
+			}
+		}
+		return vector.NullValue, fmt.Errorf("%w: %s must appear in GROUP BY or an aggregate", ErrSemantic, item.Expr)
+	}
+
+	// Build output.
+	bl := struct {
+		fields []vector.Field
+		rows   [][]vector.Value
+	}{}
+	for _, ks := range orderKeys {
+		g := groups[ks]
+		row := make([]vector.Value, len(sel.Items))
+		for i, item := range sel.Items {
+			v, err := evalItem(item, g)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		bl.rows = append(bl.rows, row)
+	}
+	// Infer output types from the first non-null value per column.
+	for i, item := range sel.Items {
+		t := vector.Int64
+		for _, row := range bl.rows {
+			if !row[i].IsNull() {
+				t = row[i].Type
+				break
+			}
+		}
+		bl.fields = append(bl.fields, vector.Field{Name: outputName(item, i), Type: t})
+	}
+	builder := vector.NewBuilder(vector.Schema{Fields: bl.fields})
+	for _, row := range bl.rows {
+		builder.Append(row...)
+	}
+	return builder.Build(), nil
+}
+
+func evalAggregateCall(call sqlparse.Call, rows []int, argCols map[string]*vector.Column, n int) (vector.Value, error) {
+	if call.Name == "COUNT" && (call.Star || len(call.Args) == 0) {
+		return vector.IntValue(int64(len(rows))), nil
+	}
+	if len(call.Args) != 1 {
+		return vector.NullValue, fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
+	}
+	col := argCols[call.Args[0].String()]
+	if col == nil {
+		return vector.NullValue, fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
+	}
+	mask := make([]bool, n)
+	for _, r := range rows {
+		mask[r] = true
+	}
+	switch call.Name {
+	case "COUNT":
+		return vector.Aggregate(col, vector.AggCount, mask), nil
+	case "SUM":
+		return vector.Aggregate(col, vector.AggSum, mask), nil
+	case "MIN":
+		return vector.Aggregate(col, vector.AggMin, mask), nil
+	case "MAX":
+		return vector.Aggregate(col, vector.AggMax, mask), nil
+	case "AVG":
+		sum := vector.Aggregate(col, vector.AggSum, mask)
+		cnt := vector.Aggregate(col, vector.AggCount, mask)
+		if sum.IsNull() || cnt.AsInt() == 0 {
+			return vector.NullValue, nil
+		}
+		return vector.FloatValue(sum.AsFloat() / float64(cnt.AsInt())), nil
+	}
+	return vector.NullValue, fmt.Errorf("%w: aggregate %s", ErrUnsupported, call.Name)
+}
+
+// execOrderBy sorts the projected output. ORDER BY expressions may
+// reference output aliases or input columns.
+func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, in *vector.Batch) (*vector.Batch, error) {
+	keys := make([]*vector.Column, len(sel.OrderBy))
+	for i, item := range sel.OrderBy {
+		// Try the output schema first (aliases and group keys — whose
+		// output names drop the table qualifier), then the input.
+		if ref, ok := item.Expr.(sqlparse.ColumnRef); ok {
+			if idx := out.Schema.Index(ref.Name); idx >= 0 {
+				keys[i] = out.Cols[idx]
+				continue
+			}
+		}
+		c, err := e.evalExpr(ctx, out, item.Expr)
+		if err != nil {
+			if in == nil || in.N != out.N {
+				return nil, err
+			}
+			c, err = e.evalExpr(ctx, in, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		keys[i] = c
+	}
+	idx := make([]int, out.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, item := range sel.OrderBy {
+			va, vb := keys[k].Value(idx[a]), keys[k].Value(idx[b])
+			cmp := compareForSort(va, vb)
+			if cmp == 0 {
+				continue
+			}
+			if item.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	cols := make([]*vector.Column, len(out.Cols))
+	for i, c := range out.Cols {
+		cols[i] = vector.Gather(c, idx)
+	}
+	return &vector.Batch{Schema: out.Schema, Cols: cols, N: out.N}, nil
+}
+
+// compareForSort orders values with NULLs first.
+func compareForSort(a, b vector.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	return a.Compare(b)
+}
+
+// --- DML dispatch ---
+
+func (e *Engine) requireMutator() (Mutator, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.mutator == nil {
+		return nil, fmt.Errorf("%w: no DML handler configured", ErrUnsupported)
+	}
+	return e.mutator, nil
+}
+
+func (e *Engine) execInsert(ctx *QueryContext, ins *sqlparse.InsertStmt) (*Result, error) {
+	m, err := e.requireMutator()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Auth.CheckWrite(ctx.Principal, ins.Table); err != nil {
+		return nil, err
+	}
+	t, err := e.Catalog.Table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows *vector.Batch
+	if ins.Select != nil {
+		rows, err = e.execSelect(ctx, ins.Select)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cols := ins.Columns
+		if len(cols) == 0 {
+			for _, f := range t.Schema.Fields {
+				cols = append(cols, f.Name)
+			}
+		}
+		schema, err := t.Schema.Select(cols)
+		if err != nil {
+			return nil, err
+		}
+		builder := vector.NewBuilder(schema)
+		for _, row := range ins.Rows {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("%w: INSERT row arity %d != %d columns", ErrSemantic, len(row), len(cols))
+			}
+			vals := make([]vector.Value, len(row))
+			for i, expr := range row {
+				lit, ok := expr.(sqlparse.Literal)
+				if !ok {
+					return nil, fmt.Errorf("%w: INSERT VALUES must be literals", ErrUnsupported)
+				}
+				v := coerce(lit.Value, schema.Fields[i].Type)
+				if !v.IsNull() && v.Type != schema.Fields[i].Type {
+					return nil, fmt.Errorf("%w: value %s is %v, column %q is %v",
+						ErrSemantic, v, v.Type, schema.Fields[i].Name, schema.Fields[i].Type)
+				}
+				vals[i] = v
+			}
+			builder.Append(vals...)
+		}
+		rows = builder.Build()
+	}
+	if err := m.Insert(ctx, ins.Table, rows); err != nil {
+		return nil, err
+	}
+	return &Result{Batch: vector.EmptyBatch(t.Schema), Stats: ctx.Stats}, nil
+}
+
+// coerce adapts a literal to a column type (int literals into float or
+// timestamp columns).
+func coerce(v vector.Value, t vector.Type) vector.Value {
+	if v.IsNull() || v.Type == t {
+		return v
+	}
+	switch t {
+	case vector.Float64:
+		if v.Type == vector.Int64 {
+			return vector.FloatValue(float64(v.I))
+		}
+	case vector.Timestamp:
+		if v.Type == vector.Int64 {
+			return vector.TimestampValue(v.I)
+		}
+	case vector.Bytes:
+		if v.Type == vector.String {
+			return vector.Value{Type: vector.Bytes, S: v.S}
+		}
+	}
+	return v
+}
+
+func (e *Engine) whereFunc(ctx *QueryContext, where sqlparse.Expr) func(*vector.Batch) ([]bool, error) {
+	return func(b *vector.Batch) ([]bool, error) {
+		if where == nil {
+			mask := make([]bool, b.N)
+			for i := range mask {
+				mask[i] = true
+			}
+			return mask, nil
+		}
+		return e.evalBool(ctx, b, where)
+	}
+}
+
+func (e *Engine) execDelete(ctx *QueryContext, del *sqlparse.DeleteStmt) (*Result, error) {
+	m, err := e.requireMutator()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Auth.CheckWrite(ctx.Principal, del.Table); err != nil {
+		return nil, err
+	}
+	n, err := m.Delete(ctx, del.Table, e.whereFunc(ctx, del.Where))
+	if err != nil {
+		return nil, err
+	}
+	out := vector.MustBatch(vector.NewSchema(vector.Field{Name: "rows_deleted", Type: vector.Int64}),
+		[]*vector.Column{vector.NewInt64Column([]int64{n})})
+	return &Result{Batch: out, Stats: ctx.Stats}, nil
+}
+
+func (e *Engine) execUpdate(ctx *QueryContext, upd *sqlparse.UpdateStmt) (*Result, error) {
+	m, err := e.requireMutator()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Auth.CheckWrite(ctx.Principal, upd.Table); err != nil {
+		return nil, err
+	}
+	set := func(b *vector.Batch) (*vector.Batch, error) {
+		cols := append([]*vector.Column(nil), b.Cols...)
+		for col, expr := range upd.Set {
+			i := b.Schema.Index(col)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: unknown column %q in UPDATE", ErrSemantic, col)
+			}
+			c, err := e.evalExpr(ctx, b, expr)
+			if err != nil {
+				return nil, err
+			}
+			if c.Type != b.Schema.Fields[i].Type {
+				// Coerce literals (e.g. int into float column).
+				dec := c.Decode()
+				builder := vector.NewBuilder(vector.NewSchema(b.Schema.Fields[i]))
+				for r := 0; r < dec.Len; r++ {
+					builder.Append(coerce(dec.Value(r), b.Schema.Fields[i].Type))
+				}
+				c = builder.Build().Cols[0]
+			}
+			cols[i] = c
+		}
+		return vector.NewBatch(b.Schema, cols)
+	}
+	n, err := m.Update(ctx, upd.Table, set, e.whereFunc(ctx, upd.Where))
+	if err != nil {
+		return nil, err
+	}
+	out := vector.MustBatch(vector.NewSchema(vector.Field{Name: "rows_updated", Type: vector.Int64}),
+		[]*vector.Column{vector.NewInt64Column([]int64{n})})
+	return &Result{Batch: out, Stats: ctx.Stats}, nil
+}
+
+func (e *Engine) execCTAS(ctx *QueryContext, cta *sqlparse.CreateTableAsStmt) (*Result, error) {
+	m, err := e.requireMutator()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := e.execSelect(ctx, cta.Select)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CreateTableAs(ctx, cta.Table, cta.OrReplace, rows); err != nil {
+		return nil, err
+	}
+	return &Result{Batch: rows, Stats: ctx.Stats}, nil
+}

@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"biglake/internal/bigmeta"
+	"biglake/internal/catalog"
+	"biglake/internal/colfmt"
+	"biglake/internal/objstore"
+	"biglake/internal/sim"
+	"biglake/internal/sqlparse"
+	"biglake/internal/vector"
+)
+
+// scanTable reads a catalog table in situ, applying pushdown
+// predicates for pruning and governance before any row leaves the
+// trust boundary. The returned batch carries the table's bare column
+// names.
+func (e *Engine) scanTable(ctx *QueryContext, name string, preds []colfmt.Predicate) (*vector.Batch, error) {
+	t, err := e.Catalog.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Auth.CheckRead(ctx.Principal, name); err != nil {
+		return nil, err
+	}
+
+	var batch *vector.Batch
+	switch t.Type {
+	case catalog.Object:
+		batch, err = e.scanObjectTable(ctx, t)
+	case catalog.Native, catalog.Managed:
+		batch, err = e.scanManagedTable(ctx, t, preds)
+	default: // External, BigLake
+		batch, err = e.scanLakeTable(ctx, t, preds)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Governance is applied inside the engine for every scan — the
+	// same implementation the Read API uses (§3.2).
+	return e.Auth.ApplyGovernance(ctx.Principal, name, batch)
+}
+
+// scanLakeTable reads an External or BigLake table from object
+// storage. With metadata caching the file set comes from Big Metadata
+// (no LIST, no footer peeks); without it the engine pays the full
+// object-store metadata cost on the query's critical path (§3.3).
+func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfmt.Predicate) (*vector.Batch, error) {
+	store, err := e.store(t.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	cred, err := e.credForCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+
+	var files []bigmeta.FileEntry
+	useCache := e.Opts.UseMetadataCache && t.MetadataCaching && t.Type == catalog.BigLake
+	if useCache {
+		refreshedAt, ok := e.Meta.RefreshedAt(t.FullName())
+		stale := ok && t.MetadataStaleness > 0 && e.Clock.Now()-refreshedAt > t.MetadataStaleness
+		if !ok || stale {
+			// First touch or staleness-interval expiry: rebuild the
+			// cache (normally a background maintenance task; §3.3).
+			if _, err := e.Meta.Refresh(t.FullName(), store, cred, t.Bucket, t.Prefix, bigmeta.RefreshOptions{WithFileStats: true, Background: true}); err != nil {
+				return nil, err
+			}
+		}
+		all, err := e.Meta.Files(t.FullName())
+		if err != nil {
+			return nil, err
+		}
+		files, err = e.Meta.Prune(t.FullName(), preds, e.Opts.PruneGranularity)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Stats.FilesPruned += int64(len(all) - len(files))
+	} else {
+		// Slow path: list the bucket, then peek at each file's footer
+		// to decide skippability — all on the critical path.
+		infos, err := store.ListAll(cred, t.Bucket, t.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Stats.ListCalls++
+		entries := make([]bigmeta.FileEntry, len(infos))
+		tracks := startTracks(e.Clock, ScanWorkers)
+		var wg sync.WaitGroup
+		errs := make(chan error, len(infos))
+		for i, info := range infos {
+			entries[i] = bigmeta.FileEntry{
+				Bucket:    t.Bucket,
+				Key:       info.Key,
+				Size:      info.Size,
+				Partition: bigmeta.PartitionOf(t.Prefix, info.Key),
+			}
+			// Partition pruning needs no footer; only survivors get a
+			// footer peek.
+			if !bigmeta.FileCanMatch(entries[i], preds, bigmeta.PrunePartitionsOnly) {
+				entries[i].Size = -1 // mark pruned
+				continue
+			}
+			wg.Add(1)
+			go func(i int, key string) {
+				defer wg.Done()
+				tr := tracks[i%ScanWorkers]
+				stats, rows, err := footerPeek(store, cred, t.Bucket, key, tr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				entries[i].ColumnStats = stats
+				entries[i].RowCount = rows
+			}(i, info.Key)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+		joinTracks(tracks)
+		ctx.Stats.FooterReads += int64(len(infos))
+		for _, en := range entries {
+			if en.Size < 0 {
+				ctx.Stats.FilesPruned++
+				continue
+			}
+			if bigmeta.FileCanMatch(en, preds, bigmeta.PruneFiles) {
+				files = append(files, en)
+			} else {
+				ctx.Stats.FilesPruned++
+			}
+		}
+	}
+	return e.readFiles(ctx, store, cred, t, files, preds)
+}
+
+// footerPeek reads a file's footer statistics on the query path — the
+// extra object reads §3.3 describes for engines without a metadata
+// cache.
+func footerPeek(store *objstore.Store, cred objstore.Credential, bucket, key string, tr *sim.Track) (map[string]colfmt.ColumnStats, int64, error) {
+	info, err := store.HeadOn(tr, cred, bucket, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := info.Size - 64*1024
+	if off < 0 {
+		off = 0
+	}
+	tail, _, err := store.GetRangeOn(tr, cred, bucket, key, off, -1)
+	if err != nil {
+		return nil, 0, err
+	}
+	footer, err := colfmt.ReadFooter(tail)
+	if err != nil {
+		full, _, err2 := store.GetOn(tr, cred, bucket, key)
+		if err2 != nil {
+			return nil, 0, err2
+		}
+		if footer, err = colfmt.ReadFooter(full); err != nil {
+			return nil, 0, err
+		}
+	}
+	stats := make(map[string]colfmt.ColumnStats)
+	for _, f := range footer.Fields {
+		if st, ok := footer.ColumnStatsFor(f.Name); ok {
+			stats[f.Name] = st
+		}
+	}
+	return stats, footer.Rows, nil
+}
+
+// scanManagedTable reads a Native or BLMT table whose source of truth
+// is the Big Metadata transaction log (§3.5): the file list comes from
+// a log snapshot, never from object-store listing.
+func (e *Engine) scanManagedTable(ctx *QueryContext, t catalog.Table, preds []colfmt.Predicate) (*vector.Batch, error) {
+	store, err := e.store(t.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	cred, err := e.credForCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	files, _, err := e.Log.Snapshot(t.FullName(), -1)
+	if err != nil {
+		return nil, err
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if bigmeta.FileCanMatch(f, preds, bigmeta.PruneFiles) {
+			kept = append(kept, f)
+		} else {
+			ctx.Stats.FilesPruned++
+		}
+	}
+	return e.readFiles(ctx, store, cred, t, kept, preds)
+}
+
+// readFiles fetches and decodes the surviving files in parallel worker
+// tracks, applying predicate filtering during the scan.
+func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objstore.Credential, t catalog.Table, files []bigmeta.FileEntry, preds []colfmt.Predicate) (*vector.Batch, error) {
+	// Column-level predicates only; partition predicates are already
+	// consumed by pruning and reference no physical column.
+	var filePreds []colfmt.Predicate
+	for _, p := range preds {
+		if t.Schema.Index(p.Column) >= 0 {
+			filePreds = append(filePreds, p)
+		}
+	}
+
+	results := make([]*vector.Batch, len(files))
+	tracks := startTracks(e.Clock, ScanWorkers)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(files))
+	sem := make(chan struct{}, ScanWorkers)
+	for i, f := range files {
+		wg.Add(1)
+		go func(i int, f bigmeta.FileEntry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := tracks[i%ScanWorkers]
+			data, _, err := store.GetOn(tr, cred, f.Bucket, f.Key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Hive-partitioned files do not store the partition
+			// column; push only the predicates the file can evaluate
+			// (the rest were consumed by pruning and are re-checked
+			// after partition-column injection).
+			footer, err := colfmt.ReadFooter(data)
+			if err != nil {
+				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
+				return
+			}
+			fileSchema := footer.Schema()
+			preds := filePreds[:0:0]
+			for _, p := range filePreds {
+				if fileSchema.Index(p.Column) >= 0 {
+					preds = append(preds, p)
+				}
+			}
+			r, err := colfmt.NewVectorizedReader(data, nil, preds)
+			if err != nil {
+				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
+				return
+			}
+			b, err := r.ReadAll()
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Inject partition columns as constant columns so queries
+			// can reference them.
+			b, err = injectPartitionColumns(b, f.Partition, t)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results[i] = b
+		}(i, f)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	joinTracks(tracks)
+
+	var out *vector.Batch
+	for _, b := range results {
+		if b == nil {
+			continue
+		}
+		var err error
+		out, err = vector.AppendBatch(out, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		out = vector.EmptyBatch(t.Schema)
+	}
+	ctx.Stats.FilesScanned += int64(len(files))
+	for _, f := range files {
+		ctx.Stats.BytesScanned += f.Size
+	}
+	ctx.Stats.RowsScanned += int64(out.N)
+	return out, nil
+}
+
+// injectPartitionColumns adds hive partition values as columns when
+// the table schema declares them but files do not store them.
+func injectPartitionColumns(b *vector.Batch, partition map[string]string, t catalog.Table) (*vector.Batch, error) {
+	if len(partition) == 0 {
+		return b, nil
+	}
+	fields := append([]vector.Field(nil), b.Schema.Fields...)
+	cols := append([]*vector.Column(nil), b.Cols...)
+	keys := make([]string, 0, len(partition))
+	for k := range partition {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if b.Schema.Index(k) >= 0 {
+			continue // file stores the column already
+		}
+		idx := t.Schema.Index(k)
+		if idx < 0 {
+			continue // partition key not in declared schema
+		}
+		typ := t.Schema.Fields[idx].Type
+		v := partitionValue(partition[k], typ)
+		fields = append(fields, vector.Field{Name: k, Type: typ})
+		cols = append(cols, constColumn(v, b.N))
+	}
+	return vector.NewBatch(vector.Schema{Fields: fields}, cols)
+}
+
+func partitionValue(s string, t vector.Type) vector.Value {
+	switch t {
+	case vector.Int64, vector.Timestamp:
+		var v int64
+		if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+			return vector.NullValue
+		}
+		return vector.Value{Type: t, I: v}
+	case vector.Float64:
+		var v float64
+		if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+			return vector.NullValue
+		}
+		return vector.FloatValue(v)
+	case vector.Bool:
+		return vector.BoolValue(s == "true")
+	default:
+		return vector.StringValue(s)
+	}
+}
+
+// scanObjectTable materializes an Object table: the metadata cache
+// itself is the data source (§4.1) — each cached object becomes a row.
+func (e *Engine) scanObjectTable(ctx *QueryContext, t catalog.Table) (*vector.Batch, error) {
+	store, err := e.store(t.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	cred, err := e.credForCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	var entries []bigmeta.FileEntry
+	if e.Opts.UseMetadataCache && t.MetadataCaching {
+		if _, ok := e.Meta.RefreshedAt(t.FullName()); !ok {
+			if _, err := e.Meta.Refresh(t.FullName(), store, cred, t.Bucket, t.Prefix, bigmeta.RefreshOptions{Background: true}); err != nil {
+				return nil, err
+			}
+		}
+		entries, err = e.Meta.Files(t.FullName())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Without the cache the engine lists the bucket per query —
+		// the hours-long path for billions of objects (§4.1).
+		infos, err := store.ListAll(cred, t.Bucket, t.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Stats.ListCalls++
+		for _, info := range infos {
+			entries = append(entries, bigmeta.FileEntry{
+				Bucket: t.Bucket, Key: info.Key, Size: info.Size,
+				ContentType: info.ContentType, Created: info.Created,
+				Updated: info.Updated, Generation: info.Generation,
+			})
+		}
+	}
+	bl := vector.NewBuilder(catalog.ObjectTableSchema())
+	for _, en := range entries {
+		bl.Append(
+			vector.StringValue(fmt.Sprintf("%s://%s/%s", t.Cloud, en.Bucket, en.Key)),
+			vector.IntValue(en.Size),
+			vector.StringValue(en.ContentType),
+			vector.TimestampValue(int64(en.Created)),
+			vector.TimestampValue(int64(en.Updated)),
+			vector.IntValue(en.Generation),
+		)
+	}
+	ctx.Stats.RowsScanned += int64(bl.Len())
+	return bl.Build(), nil
+}
+
+func startTracks(clock *sim.Clock, n int) []*sim.Track {
+	tracks := make([]*sim.Track, n)
+	for i := range tracks {
+		tracks[i] = clock.StartTrack()
+	}
+	return tracks
+}
+
+func joinTracks(tracks []*sim.Track) {
+	for _, tr := range tracks {
+		tr.Join()
+	}
+}
+
+// qualifyBatch prefixes every column with "qual." for multi-table
+// resolution.
+func qualifyBatch(b *vector.Batch, qual string) *vector.Batch {
+	fields := make([]vector.Field, len(b.Schema.Fields))
+	for i, f := range b.Schema.Fields {
+		fields[i] = vector.Field{Name: qual + "." + f.Name, Type: f.Type}
+	}
+	return &vector.Batch{Schema: vector.Schema{Fields: fields}, Cols: b.Cols, N: b.N}
+}
+
+// pushdownPreds extracts `col op literal` conjuncts from a WHERE tree
+// that reference the given table qualifier (or are unqualified when
+// the query has a single table). It is a best-effort extraction: the
+// full predicate is always re-checked after the scan.
+func pushdownPreds(where sqlparse.Expr, qualifier string, single bool) []colfmt.Predicate {
+	var out []colfmt.Predicate
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		bin, ok := e.(sqlparse.Binary)
+		if !ok {
+			return
+		}
+		if bin.Op == "AND" {
+			walk(bin.L)
+			walk(bin.R)
+			return
+		}
+		op, ok := cmpOpMap[bin.Op]
+		if !ok {
+			return
+		}
+		ref, refOK := bin.L.(sqlparse.ColumnRef)
+		lit, litOK := bin.R.(sqlparse.Literal)
+		if !refOK || !litOK {
+			// literal op column
+			if ref2, ok2 := bin.R.(sqlparse.ColumnRef); ok2 {
+				if lit2, ok3 := bin.L.(sqlparse.Literal); ok3 {
+					ref, lit, op = ref2, lit2, flipOp(op)
+					refOK, litOK = true, true
+				}
+			}
+		}
+		if !refOK || !litOK || lit.Value.IsNull() {
+			return
+		}
+		if ref.Table != "" && ref.Table != qualifier {
+			return
+		}
+		if ref.Table == "" && !single {
+			return
+		}
+		out = append(out, colfmt.Predicate{Column: ref.Name, Op: op, Value: lit.Value})
+	}
+	if where != nil {
+		walk(where)
+	}
+	return out
+}

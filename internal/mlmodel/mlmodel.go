@@ -1,0 +1,300 @@
+// Package mlmodel implements the model substrate for §4's inference
+// experiments: a small tensor runtime, a synthetic image codec (the
+// JPEG stand-in), a deterministic MLP image classifier (the ResNet-50
+// stand-in), and a template document parser (the Document AI
+// stand-in). The paper's §4 results concern *where* inference runs and
+// how data flows — raw objects vs preprocessed tensors, worker memory,
+// sandboxing, remote endpoints — not model accuracy, so the models
+// here are tiny but exercise exactly those code paths.
+package mlmodel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"biglake/internal/sim"
+)
+
+// Errors returned by the model runtime.
+var (
+	ErrBadImage  = errors.New("mlmodel: malformed image")
+	ErrBadTensor = errors.New("mlmodel: malformed tensor")
+	ErrShape     = errors.New("mlmodel: tensor shape mismatch")
+)
+
+// Tensor is a dense n-dimensional array.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (t Tensor) Len() int { return len(t.Data) }
+
+// Bytes returns the serialized size, the unit exchanged between
+// workers in Figure 7.
+func (t Tensor) Bytes() int { return 8 + 4*len(t.Shape) + 8*len(t.Data) }
+
+// Encode serializes the tensor.
+func (t Tensor) Encode() []byte {
+	out := make([]byte, 0, t.Bytes())
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(t.Shape)))
+	out = append(out, tmp[:]...)
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(d))
+		out = append(out, tmp[:4]...)
+	}
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+// DecodeTensor parses a serialized tensor.
+func DecodeTensor(data []byte) (Tensor, error) {
+	if len(data) < 8 {
+		return Tensor{}, ErrBadTensor
+	}
+	nd := int(binary.LittleEndian.Uint64(data[:8]))
+	data = data[8:]
+	if nd <= 0 || nd > 8 || len(data) < 4*nd {
+		return Tensor{}, ErrBadTensor
+	}
+	shape := make([]int, nd)
+	n := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(data[:4]))
+		data = data[4:]
+		n *= shape[i]
+	}
+	if len(data) != 8*n {
+		return Tensor{}, fmt.Errorf("%w: want %d elements, have %d bytes", ErrBadTensor, n, len(data))
+	}
+	t := Tensor{Shape: shape, Data: make([]float64, n)}
+	for i := range t.Data {
+		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return t, nil
+}
+
+// Image is a decoded grayscale image.
+type Image struct {
+	Width  int
+	Height int
+	Pixels []byte // row-major, one byte per pixel
+}
+
+// sjpgMagic heads the synthetic image format ("simulated JPEG").
+const sjpgMagic = "SJPG"
+
+// EncodeImage serializes an image in the synthetic format.
+func EncodeImage(img Image) ([]byte, error) {
+	if img.Width <= 0 || img.Height <= 0 || len(img.Pixels) != img.Width*img.Height {
+		return nil, fmt.Errorf("%w: %dx%d with %d pixels", ErrBadImage, img.Width, img.Height, len(img.Pixels))
+	}
+	out := make([]byte, 0, 12+len(img.Pixels))
+	out = append(out, sjpgMagic...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(img.Width))
+	out = append(out, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(img.Height))
+	out = append(out, tmp[:]...)
+	out = append(out, img.Pixels...)
+	return out, nil
+}
+
+// DecodeImage parses the synthetic image format — the sandboxed,
+// memory-hungry step of §4.2.1 (the raw image is much larger than the
+// tensor it becomes).
+func DecodeImage(data []byte) (Image, error) {
+	if len(data) < 12 || string(data[:4]) != sjpgMagic {
+		return Image{}, ErrBadImage
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:8]))
+	h := int(binary.LittleEndian.Uint32(data[8:12]))
+	if w <= 0 || h <= 0 || len(data) != 12+w*h {
+		return Image{}, fmt.Errorf("%w: header %dx%d, %d bytes", ErrBadImage, w, h, len(data))
+	}
+	return Image{Width: w, Height: h, Pixels: data[12:]}, nil
+}
+
+// RandomImage generates a deterministic test image whose dominant
+// intensity encodes a class, so classifier behaviour is verifiable.
+func RandomImage(rng *sim.RNG, w, h int, class int, numClasses int) Image {
+	img := Image{Width: w, Height: h, Pixels: make([]byte, w*h)}
+	base := byte((class*256/numClasses + 128/numClasses) % 256)
+	for i := range img.Pixels {
+		jitter := byte(rng.Intn(16))
+		img.Pixels[i] = base + jitter - 8
+	}
+	return img
+}
+
+// Preprocess decodes an encoded image and converts it to a normalized
+// side x side input tensor (decode, resize, color-convert — §4.2.1).
+func Preprocess(encoded []byte, side int) (Tensor, error) {
+	img, err := DecodeImage(encoded)
+	if err != nil {
+		return Tensor{}, err
+	}
+	t := NewTensor(side, side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			sx := x * img.Width / side
+			sy := y * img.Height / side
+			t.Data[y*side+x] = float64(img.Pixels[sy*img.Width+sx]) / 255.0
+		}
+	}
+	return t, nil
+}
+
+// Classifier is a deterministic one-hidden-layer MLP image
+// classifier.
+type Classifier struct {
+	Name      string
+	InputSide int // input tensor is InputSide x InputSide
+	Hidden    int
+	Classes   []string
+	SizeBytes int64 // declared model size; drives the §4.2 memory limit
+	w1, b1    []float64
+	w2, b2    []float64
+}
+
+// NewClassifier builds a classifier with hand-constructed weights that
+// make the network classify inputs by mean intensity band: hidden unit
+// h computes relu(mean(x) - h/H) (all first-layer weights are 1/in
+// with bias -h/H), and class k rewards activations below its band
+// center and penalizes ones above it, so the argmax class peaks when
+// mean(x) sits at the class's band center. Predictions are therefore
+// verifiable in tests while the forward pass is a genuine MLP. A small
+// seed-derived jitter keeps weights non-degenerate.
+func NewClassifier(name string, inputSide, hidden int, classes []string, seed uint64) *Classifier {
+	rng := sim.NewRNG(seed)
+	in := inputSide * inputSide
+	nc := len(classes)
+	c := &Classifier{
+		Name: name, InputSide: inputSide, Hidden: hidden, Classes: classes,
+		SizeBytes: int64(8 * (in*hidden + hidden + hidden*nc + nc)),
+		w1:        make([]float64, in*hidden),
+		b1:        make([]float64, hidden),
+		w2:        make([]float64, hidden*nc),
+		b2:        make([]float64, nc),
+	}
+	for h := 0; h < hidden; h++ {
+		for i := 0; i < in; i++ {
+			c.w1[h*in+i] = 1.0/float64(in) + (rng.Float64()-0.5)*1e-9
+		}
+		c.b1[h] = -float64(h) / float64(hidden)
+	}
+	for h := 0; h < hidden; h++ {
+		for k := 0; k < nc; k++ {
+			// Class k rewards activations below its band's upper edge
+			// (k+1)/nc and penalizes ones above it, putting the
+			// decision boundary between classes k and k+1 exactly at
+			// that edge.
+			edge := float64(k+1) / float64(nc)
+			if float64(h)/float64(hidden) < edge {
+				c.w2[h*nc+k] = 1
+			} else {
+				c.w2[h*nc+k] = -1
+			}
+		}
+	}
+	return c
+}
+
+// Predict runs the MLP forward pass over one preprocessed input
+// tensor, returning the argmax label and per-class scores.
+func (c *Classifier) Predict(t Tensor) (string, []float64, error) {
+	in := c.InputSide * c.InputSide
+	if t.Len() != in {
+		return "", nil, fmt.Errorf("%w: got %d elements, model wants %d", ErrShape, t.Len(), in)
+	}
+	nc := len(c.Classes)
+	act := make([]float64, c.Hidden)
+	for h := 0; h < c.Hidden; h++ {
+		sum := c.b1[h]
+		w := c.w1[h*in : (h+1)*in]
+		for i, v := range t.Data {
+			sum += v * w[i]
+		}
+		act[h] = math.Max(0, sum) // ReLU
+	}
+	scores := make([]float64, nc)
+	for k := 0; k < nc; k++ {
+		sum := c.b2[k]
+		for h := 0; h < c.Hidden; h++ {
+			sum += act[h] * c.w2[h*nc+k]
+		}
+		scores[k] = sum
+	}
+	best := 0
+	for k := 1; k < nc; k++ {
+		if scores[k] > scores[best] {
+			best = k
+		}
+	}
+	return c.Classes[best], scores, nil
+}
+
+// DocParser extracts key/value entities from the synthetic document
+// format: UTF-8 text with "key: value" lines — the Document AI
+// stand-in for ML.PROCESS_DOCUMENT.
+type DocParser struct {
+	Name string
+	// Fields restricts extraction to these keys (nil = all).
+	Fields []string
+}
+
+// Parse extracts entities from one document.
+func (p *DocParser) Parse(doc []byte) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(doc), "\n") {
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:i])
+		val := strings.TrimSpace(line[i+1:])
+		if key == "" {
+			continue
+		}
+		if p.Fields != nil {
+			keep := false
+			for _, f := range p.Fields {
+				if f == key {
+					keep = true
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		out[key] = val
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mlmodel: document has no extractable fields")
+	}
+	return out, nil
+}
+
+// MakeInvoice renders a synthetic invoice document for tests and
+// examples.
+func MakeInvoice(id int, vendor string, total float64) []byte {
+	return []byte(fmt.Sprintf("invoice_id: INV-%05d\nvendor: %s\ntotal: %.2f\ncurrency: USD\n", id, vendor, total))
+}

@@ -1,0 +1,240 @@
+package mlmodel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"biglake/internal/sim"
+)
+
+func TestTensorEncodeDecode(t *testing.T) {
+	tn := NewTensor(2, 3)
+	for i := range tn.Data {
+		tn.Data[i] = float64(i) * 1.5
+	}
+	back, err := DecodeTensor(tn.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Shape) != 2 || back.Shape[0] != 2 || back.Shape[1] != 3 {
+		t.Fatalf("shape = %v", back.Shape)
+	}
+	for i := range tn.Data {
+		if back.Data[i] != tn.Data[i] {
+			t.Fatalf("data[%d] = %v", i, back.Data[i])
+		}
+	}
+}
+
+func TestTensorDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2, 3}, make([]byte, 20)} {
+		if _, err := DecodeTensor(data); !errors.Is(err, ErrBadTensor) {
+			t.Errorf("DecodeTensor(%d bytes) = %v", len(data), err)
+		}
+	}
+	// Truncated payload.
+	tn := NewTensor(4, 4)
+	enc := tn.Encode()
+	if _, err := DecodeTensor(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated tensor should fail")
+	}
+}
+
+func TestTensorBytes(t *testing.T) {
+	tn := NewTensor(8, 8)
+	if got := len(tn.Encode()); got != tn.Bytes() {
+		t.Fatalf("Bytes() = %d, encoded = %d", tn.Bytes(), got)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	img := Image{Width: 4, Height: 2, Pixels: []byte{0, 1, 2, 3, 4, 5, 6, 7}}
+	enc, err := EncodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeImage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 4 || back.Height != 2 || back.Pixels[5] != 5 {
+		t.Fatalf("back = %+v", back)
+	}
+}
+
+func TestImageValidation(t *testing.T) {
+	if _, err := EncodeImage(Image{Width: 2, Height: 2, Pixels: []byte{1}}); !errors.Is(err, ErrBadImage) {
+		t.Fatal("bad pixel count should fail")
+	}
+	if _, err := DecodeImage([]byte("JPEG")); !errors.Is(err, ErrBadImage) {
+		t.Fatal("bad magic should fail")
+	}
+	enc, _ := EncodeImage(Image{Width: 2, Height: 2, Pixels: make([]byte, 4)})
+	if _, err := DecodeImage(enc[:len(enc)-1]); !errors.Is(err, ErrBadImage) {
+		t.Fatal("truncated image should fail")
+	}
+}
+
+func TestPreprocessShapeAndRange(t *testing.T) {
+	rng := sim.NewRNG(1)
+	img := RandomImage(rng, 64, 48, 2, 4)
+	enc, _ := EncodeImage(img)
+	tn, err := Preprocess(enc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Len() != 64 {
+		t.Fatalf("tensor len = %d", tn.Len())
+	}
+	for _, v := range tn.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("unnormalized value %v", v)
+		}
+	}
+}
+
+func TestPreprocessShrinksData(t *testing.T) {
+	// The Figure 7 premise: tensors are much smaller than raw images.
+	rng := sim.NewRNG(2)
+	img := RandomImage(rng, 512, 512, 0, 4)
+	enc, _ := EncodeImage(img)
+	tn, _ := Preprocess(enc, 16)
+	if tn.Bytes()*10 >= len(enc) {
+		t.Fatalf("tensor %d bytes vs image %d — want >10x reduction", tn.Bytes(), len(enc))
+	}
+}
+
+func TestClassifierPredictsIntensityBands(t *testing.T) {
+	classes := []string{"dark", "dim", "bright", "blinding"}
+	model := NewClassifier("resnet50", 8, 16, classes, 42)
+	rng := sim.NewRNG(3)
+	for class := range classes {
+		correct := 0
+		for trial := 0; trial < 20; trial++ {
+			img := RandomImage(rng, 32, 32, class, len(classes))
+			enc, _ := EncodeImage(img)
+			tn, err := Preprocess(enc, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label, scores, err := model.Predict(tn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scores) != len(classes) {
+				t.Fatal("score arity")
+			}
+			if label == classes[class] {
+				correct++
+			}
+		}
+		if correct < 16 {
+			t.Fatalf("class %q: %d/20 correct", classes[class], correct)
+		}
+	}
+}
+
+func TestClassifierDeterministic(t *testing.T) {
+	m1 := NewClassifier("m", 8, 8, []string{"a", "b"}, 7)
+	m2 := NewClassifier("m", 8, 8, []string{"a", "b"}, 7)
+	tn := NewTensor(8, 8)
+	for i := range tn.Data {
+		tn.Data[i] = 0.3
+	}
+	l1, s1, _ := m1.Predict(tn)
+	l2, s2, _ := m2.Predict(tn)
+	if l1 != l2 || s1[0] != s2[0] {
+		t.Fatal("same seed must give identical models")
+	}
+}
+
+func TestClassifierShapeMismatch(t *testing.T) {
+	m := NewClassifier("m", 8, 8, []string{"a", "b"}, 1)
+	if _, _, err := m.Predict(NewTensor(4, 4)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClassifierSizeBytes(t *testing.T) {
+	m := NewClassifier("m", 8, 16, []string{"a", "b", "c"}, 1)
+	want := int64(8 * (64*16 + 16 + 16*3 + 3))
+	if m.SizeBytes != want {
+		t.Fatalf("SizeBytes = %d, want %d", m.SizeBytes, want)
+	}
+}
+
+func TestDocParser(t *testing.T) {
+	p := &DocParser{Name: "invoice_parser"}
+	doc := MakeInvoice(7, "ACME Corp", 123.45)
+	got, err := p.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["invoice_id"] != "INV-00007" || got["vendor"] != "ACME Corp" || got["total"] != "123.45" {
+		t.Fatalf("parsed = %v", got)
+	}
+}
+
+func TestDocParserFieldFilter(t *testing.T) {
+	p := &DocParser{Name: "p", Fields: []string{"vendor"}}
+	got, err := p.Parse(MakeInvoice(1, "X", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["vendor"] != "X" {
+		t.Fatalf("filtered = %v", got)
+	}
+}
+
+func TestDocParserEmptyDocument(t *testing.T) {
+	p := &DocParser{Name: "p"}
+	if _, err := p.Parse([]byte("no fields here")); err == nil {
+		t.Fatal("field-free document should fail")
+	}
+}
+
+func TestPropertyImageRoundTrip(t *testing.T) {
+	if err := quick.Check(func(wRaw, hRaw uint8, seed uint64) bool {
+		w, h := int(wRaw%32)+1, int(hRaw%32)+1
+		rng := sim.NewRNG(seed)
+		img := RandomImage(rng, w, h, 1, 3)
+		enc, err := EncodeImage(img)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeImage(enc)
+		if err != nil || back.Width != w || back.Height != h {
+			return false
+		}
+		for i := range img.Pixels {
+			if back.Pixels[i] != img.Pixels[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTensorRoundTrip(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tn := Tensor{Shape: []int{len(vals)}, Data: vals}
+		back, err := DecodeTensor(tn.Encode())
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if back.Data[i] != vals[i] && !(back.Data[i] != back.Data[i] && vals[i] != vals[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

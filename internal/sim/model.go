@@ -1,0 +1,117 @@
+package sim
+
+import "time"
+
+// CloudProfile calibrates the simulated latency and cost behaviour of
+// one cloud's object store and network, loosely matching publicly
+// observable behaviour of GCS / S3 / Azure Blob and cross-cloud WAN
+// paths. All the paper-shaped results flow from these parameters; they
+// are surfaced here in one place so experiments can cite them.
+type CloudProfile struct {
+	Name string
+
+	// Object store request latencies.
+	ListPageLatency  time.Duration // one LIST page (up to ListPageSize objects)
+	ListPageSize     int           // objects returned per LIST page
+	GetFirstByte     time.Duration // GET request overhead before streaming
+	PutOverhead      time.Duration // PUT request overhead
+	HeadLatency      time.Duration // metadata-only HEAD / footer peek request
+	DeleteLatency    time.Duration // DELETE request
+	ReadPerMB        time.Duration // streaming read time per MiB
+	WritePerMB       time.Duration // streaming write time per MiB
+	MutationInterval time.Duration // minimum spacing between conditional
+	// overwrites of the same object; models "object stores can
+	// update/replace an object only a handful of times per second"
+	// (§3.5). 200ms ≈ 5 mutations/s.
+
+	// Network.
+	IntraRegionRTT time.Duration // engine worker <-> same-region store
+	CrossCloudRTT  time.Duration // VPN round trip to another cloud (§5.2)
+	EgressPerMB    time.Duration // cross-cloud streaming per MiB
+}
+
+// Calibrated profiles. The absolute numbers are order-of-magnitude
+// public-cloud figures; only ratios matter for reproducing the paper's
+// shapes.
+var (
+	// GCP models Google Cloud Storage as seen from a same-region
+	// Dremel worker.
+	GCP = CloudProfile{
+		Name:             "gcp",
+		ListPageLatency:  60 * time.Millisecond,
+		ListPageSize:     1000,
+		GetFirstByte:     30 * time.Millisecond,
+		PutOverhead:      40 * time.Millisecond,
+		HeadLatency:      25 * time.Millisecond,
+		DeleteLatency:    30 * time.Millisecond,
+		ReadPerMB:        4 * time.Millisecond,
+		WritePerMB:       6 * time.Millisecond,
+		MutationInterval: 200 * time.Millisecond,
+		IntraRegionRTT:   1 * time.Millisecond,
+		CrossCloudRTT:    70 * time.Millisecond,
+		EgressPerMB:      9 * time.Millisecond,
+	}
+
+	// AWS models S3 from an Omni data plane in the same AWS region.
+	AWS = CloudProfile{
+		Name:             "aws",
+		ListPageLatency:  65 * time.Millisecond,
+		ListPageSize:     1000,
+		GetFirstByte:     32 * time.Millisecond,
+		PutOverhead:      42 * time.Millisecond,
+		HeadLatency:      26 * time.Millisecond,
+		DeleteLatency:    32 * time.Millisecond,
+		ReadPerMB:        4 * time.Millisecond,
+		WritePerMB:       6 * time.Millisecond,
+		MutationInterval: 200 * time.Millisecond,
+		IntraRegionRTT:   1 * time.Millisecond,
+		CrossCloudRTT:    70 * time.Millisecond,
+		EgressPerMB:      9 * time.Millisecond,
+	}
+
+	// Azure models Azure Blob Storage / ADLS.
+	Azure = CloudProfile{
+		Name:             "azure",
+		ListPageLatency:  70 * time.Millisecond,
+		ListPageSize:     1000,
+		GetFirstByte:     34 * time.Millisecond,
+		PutOverhead:      45 * time.Millisecond,
+		HeadLatency:      28 * time.Millisecond,
+		DeleteLatency:    33 * time.Millisecond,
+		ReadPerMB:        5 * time.Millisecond,
+		WritePerMB:       7 * time.Millisecond,
+		MutationInterval: 200 * time.Millisecond,
+		IntraRegionRTT:   1 * time.Millisecond,
+		CrossCloudRTT:    75 * time.Millisecond,
+		EgressPerMB:      10 * time.Millisecond,
+	}
+)
+
+// ProfileFor returns the calibrated profile for a cloud name,
+// defaulting to GCP for unknown names.
+func ProfileFor(name string) CloudProfile {
+	switch name {
+	case "aws":
+		return AWS
+	case "azure":
+		return Azure
+	default:
+		p := GCP
+		if name != "" {
+			p.Name = name
+		}
+		return p
+	}
+}
+
+// MB is one mebibyte, the unit the cost model charges streaming time
+// in.
+const MB = 1 << 20
+
+// StreamTime returns the simulated time to move n bytes at perMB.
+func StreamTime(n int64, perMB time.Duration) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(perMB) * float64(n) / float64(MB))
+}

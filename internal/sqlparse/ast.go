@@ -1,0 +1,206 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"biglake/internal/vector"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    *TableRef
+	Joins   []Join
+	Where   Expr // nil if absent
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int64 // -1 if absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection: `*`, or an expression with an optional
+// alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinKind distinguishes join types (INNER only today; LEFT reserved).
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+)
+
+// Join is one JOIN clause with an equality condition.
+type Join struct {
+	Kind  JoinKind
+	Table *TableRef
+	// On is the join condition; the planner requires a conjunction of
+	// column equalities.
+	On Expr
+}
+
+// TableRef is a FROM-clause source: a named table, a subquery, or an
+// ML table-valued function.
+type TableRef struct {
+	Name     string // "dataset.table" when a named table
+	Alias    string
+	Subquery *SelectStmt
+	TVF      *TVFCall
+}
+
+// DisplayName returns the name results should be qualified by.
+func (t *TableRef) DisplayName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// TVFCall is an ML table-valued function in the FROM clause:
+// ML.PREDICT(MODEL m, (subquery)) or
+// ML.PROCESS_DOCUMENT(MODEL m, TABLE t).
+type TVFCall struct {
+	Name  string // "ML.PREDICT", "ML.PROCESS_DOCUMENT"
+	Model string
+	Input *TableRef // subquery or table input
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...),(...) | SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr // literal rows; nil if Select is set
+	Select  *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE t SET col = expr, ... WHERE ...
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Expr
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM t WHERE ...
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// CreateTableAsStmt is CREATE [OR REPLACE] TABLE t AS SELECT ...
+type CreateTableAsStmt struct {
+	Table     string
+	OrReplace bool
+	Select    *SelectStmt
+}
+
+func (*CreateTableAsStmt) stmt() {}
+
+// Expr is any scalar expression.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+func (ColumnRef) expr() {}
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value vector.Value
+}
+
+func (Literal) expr() {}
+
+func (l Literal) String() string {
+	if l.Value.Type == vector.String {
+		return "'" + l.Value.S + "'"
+	}
+	return l.Value.String()
+}
+
+// Binary is a binary operation: comparisons, AND, OR, and arithmetic
+// (+ - * /).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (Binary) expr() {}
+
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (Not) expr() {}
+
+func (n Not) String() string { return "NOT " + n.E.String() }
+
+// Call is a function call: aggregates (COUNT/SUM/MIN/MAX/AVG) or
+// scalar/ML functions (ML.DECODE_IMAGE, ...).
+type Call struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (Call) expr() {}
+
+func (c Call) String() string {
+	if c.Star {
+		return c.Name + "(*)"
+	}
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// AggregateFuncs are the supported aggregate function names.
+var AggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// IsAggregate reports whether the expression is (or contains at top
+// level) an aggregate call.
+func IsAggregate(e Expr) bool {
+	c, ok := e.(Call)
+	return ok && AggregateFuncs[c.Name]
+}

@@ -1,0 +1,322 @@
+package storageapi
+
+import (
+	"fmt"
+	"time"
+
+	"biglake/internal/bigmeta"
+	"biglake/internal/catalog"
+	"biglake/internal/colfmt"
+	"biglake/internal/security"
+	"biglake/internal/vector"
+)
+
+func securityPrincipal(p string) security.Principal { return security.Principal(p) }
+
+// WriteMode selects commit semantics for a write stream (§2.2.2).
+type WriteMode int
+
+// Write modes.
+const (
+	// CommittedMode makes rows visible as soon as each append returns
+	// (real-time streaming).
+	CommittedMode WriteMode = iota
+	// PendingMode buffers rows until the stream is finalized and
+	// explicitly committed (batch commit), enabling cross-stream
+	// transactions.
+	PendingMode
+	// BufferedMode holds appended rows until the client advances the
+	// flush offset with FlushRows; rows up to the flush point become
+	// visible, later rows stay buffered.
+	BufferedMode
+)
+
+func (m WriteMode) String() string {
+	switch m {
+	case PendingMode:
+		return "PENDING"
+	case BufferedMode:
+		return "BUFFERED"
+	}
+	return "COMMITTED"
+}
+
+type writeStream struct {
+	id        string
+	table     string
+	mode      WriteMode
+	principal string
+	rows      *vector.Batch
+	offset    int64
+	// flushed is the row offset already made visible (BufferedMode).
+	flushed   int64
+	finalized bool
+	committed bool
+}
+
+// CreateWriteStream opens a write stream against a managed table.
+func (s *Server) CreateWriteStream(principal, table string, mode WriteMode) (string, error) {
+	if err := s.Auth.CheckWrite(securityPrincipal(principal), table); err != nil {
+		return "", err
+	}
+	t, err := s.Catalog.Table(table)
+	if err != nil {
+		return "", err
+	}
+	if t.Type != catalog.Managed && t.Type != catalog.Native {
+		return "", fmt.Errorf("storageapi: write streams require a managed table, %s is %v", table, t.Type)
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.wseq++
+	id := fmt.Sprintf("writeStreams/%d", s.wseq)
+	s.writes[id] = &writeStream{id: id, table: table, mode: mode, principal: principal}
+	return id, nil
+}
+
+// AppendRows appends a batch at the given offset. Offsets provide
+// exactly-once semantics: re-sending an already-applied offset is an
+// idempotent no-op reporting ErrOffsetExists; appending beyond the end
+// is ErrBadOffset. Pass offset -1 for "at end".
+func (s *Server) AppendRows(streamID string, offset int64, rows *vector.Batch) (int64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	ws, ok := s.writes[streamID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoStream, streamID)
+	}
+	if ws.finalized {
+		return 0, fmt.Errorf("%w: %s", ErrFinalized, streamID)
+	}
+	if offset >= 0 {
+		if offset < ws.offset {
+			return ws.offset, fmt.Errorf("%w: offset %d already applied (next %d)", ErrOffsetExists, offset, ws.offset)
+		}
+		if offset > ws.offset {
+			return ws.offset, fmt.Errorf("%w: offset %d beyond next %d", ErrBadOffset, offset, ws.offset)
+		}
+	}
+	merged, err := vector.AppendBatch(ws.rows, rows)
+	if err != nil {
+		return ws.offset, err
+	}
+	ws.rows = merged
+	ws.offset += int64(rows.N)
+	s.Meter.Add("appended_rows", int64(rows.N))
+
+	if ws.mode == CommittedMode {
+		if err := s.flushStreamLocked(ws); err != nil {
+			return ws.offset, err
+		}
+	}
+	return ws.offset, nil
+}
+
+// flushStreamLocked materializes buffered rows as a data file and
+// commits it to the table's transaction log.
+func (s *Server) flushStreamLocked(ws *writeStream) error {
+	if ws.rows == nil || ws.rows.N == 0 {
+		return nil
+	}
+	t, err := s.Catalog.Table(ws.table)
+	if err != nil {
+		return err
+	}
+	store, err := s.store(t.Cloud)
+	if err != nil {
+		return err
+	}
+	cred, err := s.credFor(t)
+	if err != nil {
+		return err
+	}
+	file, err := colfmt.WriteFile(ws.rows, colfmt.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("%sdata/%s-%d.blk", t.Prefix, sanitize(ws.id), s.Clock.Now()/time.Microsecond)
+	info, err := store.Put(cred, t.Bucket, key, file, "application/x-blk")
+	if err != nil {
+		return err
+	}
+	footer, err := colfmt.ReadFooter(file)
+	if err != nil {
+		return err
+	}
+	stats := make(map[string]colfmt.ColumnStats)
+	for _, f := range footer.Fields {
+		if st, ok := footer.ColumnStatsFor(f.Name); ok {
+			stats[f.Name] = st
+		}
+	}
+	_, err = s.Log.Commit(ws.principal, map[string]bigmeta.TableDelta{
+		ws.table: {Added: []bigmeta.FileEntry{{
+			Bucket: t.Bucket, Key: key, Size: info.Size,
+			RowCount: footer.Rows, ColumnStats: stats,
+		}}},
+	})
+	if err != nil {
+		return err
+	}
+	ws.rows = nil
+	return nil
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == '/' {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// FlushRows makes a buffered stream's rows visible up to offset
+// (exclusive). Flushing at or behind the current flush point is a
+// no-op; flushing beyond the appended rows is an error. Returns the
+// new flush offset.
+func (s *Server) FlushRows(streamID string, offset int64) (int64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	ws, ok := s.writes[streamID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoStream, streamID)
+	}
+	if ws.mode != BufferedMode {
+		return 0, fmt.Errorf("storageapi: FlushRows requires a BUFFERED stream, %s is %v", streamID, ws.mode)
+	}
+	if offset > ws.offset {
+		return ws.flushed, fmt.Errorf("%w: flush offset %d beyond appended %d", ErrBadOffset, offset, ws.offset)
+	}
+	if offset <= ws.flushed {
+		return ws.flushed, nil
+	}
+	// Materialize rows [flushed, offset) as one visible file. The
+	// buffered batch holds rows starting at ws.flushed.
+	n := int(offset - ws.flushed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cols := make([]*vector.Column, len(ws.rows.Cols))
+	for i, c := range ws.rows.Cols {
+		cols[i] = vector.Gather(c, idx)
+	}
+	visible, err := vector.NewBatch(ws.rows.Schema, cols)
+	if err != nil {
+		return ws.flushed, err
+	}
+	rest := ws.rows.N - n
+	restIdx := make([]int, rest)
+	for i := range restIdx {
+		restIdx[i] = n + i
+	}
+	restCols := make([]*vector.Column, len(ws.rows.Cols))
+	for i, c := range ws.rows.Cols {
+		restCols[i] = vector.Gather(c, restIdx)
+	}
+	remaining, err := vector.NewBatch(ws.rows.Schema, restCols)
+	if err != nil {
+		return ws.flushed, err
+	}
+	saved := ws.rows
+	ws.rows = visible
+	if err := s.flushStreamLocked(ws); err != nil {
+		ws.rows = saved
+		return ws.flushed, err
+	}
+	ws.rows = remaining
+	ws.flushed = offset
+	return ws.flushed, nil
+}
+
+// FinalizeStream seals a stream against further appends and returns
+// the final row offset.
+func (s *Server) FinalizeStream(streamID string) (int64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	ws, ok := s.writes[streamID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoStream, streamID)
+	}
+	ws.finalized = true
+	return ws.offset, nil
+}
+
+// BatchCommitStreams atomically commits a set of finalized pending
+// streams into their table(s) — the cross-stream transaction of
+// §2.2.2. Streams for different tables commit in one multi-table Big
+// Metadata transaction.
+func (s *Server) BatchCommitStreams(streamIDs []string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	deltas := map[string]bigmeta.TableDelta{}
+	principal := ""
+	for _, id := range streamIDs {
+		ws, ok := s.writes[id]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoStream, id)
+		}
+		if !ws.finalized {
+			return fmt.Errorf("storageapi: stream %s must be finalized before commit", id)
+		}
+		if ws.committed {
+			return fmt.Errorf("storageapi: stream %s already committed", id)
+		}
+		if ws.mode != PendingMode {
+			return fmt.Errorf("storageapi: stream %s is %v, not PENDING", id, ws.mode)
+		}
+		principal = ws.principal
+		if ws.rows == nil || ws.rows.N == 0 {
+			continue
+		}
+		t, err := s.Catalog.Table(ws.table)
+		if err != nil {
+			return err
+		}
+		store, err := s.store(t.Cloud)
+		if err != nil {
+			return err
+		}
+		cred, err := s.credFor(t)
+		if err != nil {
+			return err
+		}
+		file, err := colfmt.WriteFile(ws.rows, colfmt.WriterOptions{})
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%sdata/%s.blk", t.Prefix, sanitize(ws.id))
+		info, err := store.Put(cred, t.Bucket, key, file, "application/x-blk")
+		if err != nil {
+			return err
+		}
+		footer, err := colfmt.ReadFooter(file)
+		if err != nil {
+			return err
+		}
+		stats := make(map[string]colfmt.ColumnStats)
+		for _, f := range footer.Fields {
+			if st, ok := footer.ColumnStatsFor(f.Name); ok {
+				stats[f.Name] = st
+			}
+		}
+		d := deltas[ws.table]
+		d.Added = append(d.Added, bigmeta.FileEntry{
+			Bucket: t.Bucket, Key: key, Size: info.Size,
+			RowCount: footer.Rows, ColumnStats: stats,
+		})
+		deltas[ws.table] = d
+	}
+	if len(deltas) > 0 {
+		if _, err := s.Log.Commit(principal, deltas); err != nil {
+			return err
+		}
+	}
+	for _, id := range streamIDs {
+		s.writes[id].committed = true
+		s.writes[id].rows = nil
+	}
+	return nil
+}

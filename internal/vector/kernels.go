@@ -1,0 +1,531 @@
+package vector
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// CmpOp is a comparison operator for predicate kernels.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Eval applies the operator to an ordering result from Value.Compare.
+func (op CmpOp) Eval(cmp int) bool {
+	switch op {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// CompareConst evaluates `col op val` producing a selection mask.
+// NULL rows compare false (SQL semantics). The kernel operates
+// directly on the physical encoding: for Dict columns the predicate is
+// evaluated once per dictionary entry and then mapped over codes; for
+// RLE it is evaluated once per run.
+func CompareConst(c *Column, op CmpOp, val Value) []bool {
+	mask := make([]bool, c.Len)
+	switch c.Enc {
+	case Dict:
+		verdicts := dictVerdicts(c, op, val)
+		for i, code := range c.Codes {
+			if code != NullIdx {
+				mask[i] = verdicts[code]
+			}
+		}
+	case RLE:
+		pos := 0
+		for _, r := range c.Runs {
+			v := false
+			if r.ValIdx != NullIdx {
+				v = op.Eval(c.valueAtIdx(r.ValIdx).Compare(val))
+			}
+			if v {
+				for k := 0; k < int(r.Count); k++ {
+					mask[pos+k] = true
+				}
+			}
+			pos += int(r.Count)
+		}
+	default:
+		// Plain: typed fast paths avoid Value boxing per row.
+		switch c.Type {
+		case Int64, Timestamp:
+			target := val.AsInt()
+			if val.Type == Float64 {
+				// Mixed numeric comparison falls back to float.
+				ft := val.F
+				for i, v := range c.Ints {
+					if c.Nulls == nil || !c.Nulls[i] {
+						mask[i] = op.Eval(cmpFloat(float64(v), ft))
+					}
+				}
+				return mask
+			}
+			for i, v := range c.Ints {
+				if c.Nulls == nil || !c.Nulls[i] {
+					mask[i] = op.Eval(cmpInt(v, target))
+				}
+			}
+		case Float64:
+			target := val.AsFloat()
+			for i, v := range c.Floats {
+				if c.Nulls == nil || !c.Nulls[i] {
+					mask[i] = op.Eval(cmpFloat(v, target))
+				}
+			}
+		case String, Bytes:
+			target := val.S
+			for i, v := range c.Strs {
+				if c.Nulls == nil || !c.Nulls[i] {
+					mask[i] = op.Eval(cmpString(v, target))
+				}
+			}
+		case Bool:
+			for i, v := range c.Bools {
+				if c.Nulls == nil || !c.Nulls[i] {
+					mask[i] = op.Eval(cmpBool(v, val.B))
+				}
+			}
+		}
+	}
+	return mask
+}
+
+func dictVerdicts(c *Column, op CmpOp, val Value) []bool {
+	n := c.dictLen()
+	verdicts := make([]bool, n)
+	for i := 0; i < n; i++ {
+		verdicts[i] = op.Eval(c.valueAtIdx(uint32(i)).Compare(val))
+	}
+	return verdicts
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case !a && b:
+		return -1
+	case a && !b:
+		return 1
+	}
+	return 0
+}
+
+// CompareCols evaluates `a op b` element-wise over two columns of the
+// same length (the join/filter-on-two-columns path). NULLs compare
+// false.
+func CompareCols(a, b *Column, op CmpOp) ([]bool, error) {
+	if a.Len != b.Len {
+		return nil, fmt.Errorf("vector: column length mismatch %d vs %d", a.Len, b.Len)
+	}
+	mask := make([]bool, a.Len)
+	for i := 0; i < a.Len; i++ {
+		av, bv := a.Value(i), b.Value(i)
+		if av.IsNull() || bv.IsNull() {
+			continue
+		}
+		mask[i] = op.Eval(av.Compare(bv))
+	}
+	return mask, nil
+}
+
+// IsNullMask returns a mask that is true where the column is NULL.
+func IsNullMask(c *Column) []bool {
+	mask := make([]bool, c.Len)
+	switch c.Enc {
+	case Plain:
+		if c.Nulls != nil {
+			copy(mask, c.Nulls)
+		}
+	case Dict:
+		for i, code := range c.Codes {
+			mask[i] = code == NullIdx
+		}
+	case RLE:
+		pos := 0
+		for _, r := range c.Runs {
+			if r.ValIdx == NullIdx {
+				for k := 0; k < int(r.Count); k++ {
+					mask[pos+k] = true
+				}
+			}
+			pos += int(r.Count)
+		}
+	}
+	return mask
+}
+
+// And combines masks in place into a new mask.
+func And(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+// Or combines masks.
+func Or(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}
+
+// Not negates a mask.
+func Not(a []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = !a[i]
+	}
+	return out
+}
+
+// CountMask returns the number of set positions.
+func CountMask(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns a batch containing only the rows where mask is true.
+// Output columns are plain-encoded.
+func Filter(b *Batch, mask []bool) (*Batch, error) {
+	if len(mask) != b.N {
+		return nil, fmt.Errorf("vector: mask length %d != batch %d", len(mask), b.N)
+	}
+	idx := make([]int, 0, b.N)
+	for i, m := range mask {
+		if m {
+			idx = append(idx, i)
+		}
+	}
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = Gather(c, idx)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols, N: len(idx)}, nil
+}
+
+// Gather materializes the rows at idx into a new plain column.
+func Gather(c *Column, idx []int) *Column {
+	out := &Column{Type: c.Type, Len: len(idx), Enc: Plain}
+	var nulls []bool
+	dec := c
+	if c.Enc == RLE {
+		dec = c.Decode() // random access over RLE is O(runs); decode once
+	}
+	for outI, i := range idx {
+		v := dec.Value(i)
+		if v.IsNull() {
+			if nulls == nil {
+				nulls = make([]bool, len(idx))
+			}
+			nulls[outI] = true
+			v = zeroOf(c.Type)
+		}
+		switch c.Type {
+		case Int64, Timestamp:
+			out.Ints = append(out.Ints, v.I)
+		case Float64:
+			out.Floats = append(out.Floats, v.F)
+		case Bool:
+			out.Bools = append(out.Bools, v.B)
+		case String, Bytes:
+			out.Strs = append(out.Strs, v.S)
+		}
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// MaskKind is a data-masking transform (§3.2: "data masking" applied
+// inside the Read API trust boundary).
+type MaskKind uint8
+
+// Masking transforms.
+const (
+	MaskNone     MaskKind = iota
+	MaskNullify           // replace with NULL
+	MaskHash              // replace with a deterministic hash token
+	MaskDefault           // replace with the type's zero value
+	MaskLastFour          // strings: keep last 4 chars, X out the rest
+)
+
+func (m MaskKind) String() string {
+	switch m {
+	case MaskNone:
+		return "NONE"
+	case MaskNullify:
+		return "NULLIFY"
+	case MaskHash:
+		return "HASH"
+	case MaskDefault:
+		return "DEFAULT"
+	case MaskLastFour:
+		return "LAST_FOUR"
+	}
+	return "?"
+}
+
+// ApplyMask returns a masked copy of the column. For Dict columns the
+// transform runs once per dictionary entry — masking is vectorized
+// over the encoding just like predicates.
+func ApplyMask(c *Column, kind MaskKind) *Column {
+	switch kind {
+	case MaskNone:
+		return c
+	case MaskNullify:
+		out := &Column{Type: c.Type, Len: c.Len, Enc: Plain, Nulls: make([]bool, c.Len)}
+		for i := range out.Nulls {
+			out.Nulls[i] = true
+		}
+		switch c.Type {
+		case Int64, Timestamp:
+			out.Ints = make([]int64, c.Len)
+		case Float64:
+			out.Floats = make([]float64, c.Len)
+		case Bool:
+			out.Bools = make([]bool, c.Len)
+		case String, Bytes:
+			out.Strs = make([]string, c.Len)
+		}
+		return out
+	case MaskDefault:
+		out := &Column{Type: c.Type, Len: c.Len, Enc: Plain}
+		switch c.Type {
+		case Int64, Timestamp:
+			out.Ints = make([]int64, c.Len)
+		case Float64:
+			out.Floats = make([]float64, c.Len)
+		case Bool:
+			out.Bools = make([]bool, c.Len)
+		case String, Bytes:
+			out.Strs = make([]string, c.Len)
+		}
+		return out
+	}
+
+	// Value-transforming masks: operate on the dictionary when the
+	// column is Dict/RLE encoded.
+	transform := func(v Value) Value {
+		switch kind {
+		case MaskHash:
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d:%s:%d:%g:%t", v.Type, v.S, v.I, v.F, v.B)
+			return StringValue(fmt.Sprintf("hash_%016x", h.Sum64()))
+		case MaskLastFour:
+			s := v.String()
+			if len(s) <= 4 {
+				return StringValue(s)
+			}
+			masked := make([]byte, len(s))
+			for i := range masked {
+				masked[i] = 'X'
+			}
+			copy(masked[len(s)-4:], s[len(s)-4:])
+			return StringValue(string(masked))
+		}
+		return v
+	}
+
+	if c.Enc == Dict || c.Enc == RLE {
+		out := &Column{Type: String, Len: c.Len, Enc: c.Enc}
+		out.Codes = c.Codes
+		out.Runs = c.Runs
+		n := c.dictLen()
+		out.Strs = make([]string, n)
+		for i := 0; i < n; i++ {
+			out.Strs[i] = transform(c.valueAtIdx(uint32(i))).S
+		}
+		return out
+	}
+	out := &Column{Type: String, Len: c.Len, Enc: Plain, Strs: make([]string, c.Len)}
+	var nulls []bool
+	for i := 0; i < c.Len; i++ {
+		v := c.Value(i)
+		if v.IsNull() {
+			if nulls == nil {
+				nulls = make([]bool, c.Len)
+			}
+			nulls[i] = true
+			continue
+		}
+		out.Strs[i] = transform(v).S
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// AggKind is a partial-aggregate function the Read API can push down
+// (§3.4 future work, implemented here).
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "?"
+}
+
+// Aggregate computes a partial aggregate over the column under an
+// optional selection mask (nil = all rows). COUNT counts non-null
+// selected rows. SUM/MIN/MAX skip NULLs; an empty input yields NULL
+// for MIN/MAX/SUM and 0 for COUNT.
+func Aggregate(c *Column, kind AggKind, mask []bool) Value {
+	count := int64(0)
+	var acc Value
+	accSet := false
+	var sumI int64
+	var sumF float64
+	for i := 0; i < c.Len; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		v := c.Value(i)
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch kind {
+		case AggSum:
+			if c.Type == Float64 {
+				sumF += v.F
+			} else {
+				sumI += v.I
+			}
+		case AggMin:
+			if !accSet || v.Compare(acc) < 0 {
+				acc, accSet = v, true
+			}
+		case AggMax:
+			if !accSet || v.Compare(acc) > 0 {
+				acc, accSet = v, true
+			}
+		}
+	}
+	switch kind {
+	case AggCount:
+		return IntValue(count)
+	case AggSum:
+		if count == 0 {
+			return NullValue
+		}
+		if c.Type == Float64 {
+			return FloatValue(sumF)
+		}
+		return IntValue(sumI)
+	case AggMin, AggMax:
+		if !accSet {
+			return NullValue
+		}
+		return acc
+	}
+	return NullValue
+}
+
+// MinMax scans a plain column once and returns (min, max, nullCount);
+// used when collecting file statistics for Big Metadata.
+func MinMax(c *Column) (min, max Value, nullCount int64) {
+	for i := 0; i < c.Len; i++ {
+		v := c.Value(i)
+		if v.IsNull() {
+			nullCount++
+			continue
+		}
+		if min.IsNull() || v.Compare(min) < 0 {
+			min = v
+		}
+		if max.IsNull() || v.Compare(max) > 0 {
+			max = v
+		}
+	}
+	return min, max, nullCount
+}

@@ -1,0 +1,307 @@
+package vector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format for batches — the stand-in for the Arrow IPC payload the
+// Read API streams to clients (§2.2.1). EncodeBatch can either retain
+// dictionary/RLE encodings on the wire (the §3.4 "future work"
+// payload-efficiency optimization, ablation A4) or fully decode
+// columns first (the baseline payload).
+
+const wireMagic = uint32(0xB161AC3) // "BIGLAKe"
+
+// EncodeBatch serializes the batch. If keepEncodings is false, all
+// columns are decoded to PLAIN before serialization.
+func EncodeBatch(b *Batch, keepEncodings bool) []byte {
+	var buf bytes.Buffer
+	writeU32(&buf, wireMagic)
+	writeUvarint(&buf, uint64(len(b.Schema.Fields)))
+	for _, f := range b.Schema.Fields {
+		writeString(&buf, f.Name)
+		buf.WriteByte(byte(f.Type))
+	}
+	writeUvarint(&buf, uint64(b.N))
+	for _, c := range b.Cols {
+		col := c
+		if !keepEncodings {
+			col = c.Decode()
+		}
+		encodeColumn(&buf, col)
+	}
+	return buf.Bytes()
+}
+
+func encodeColumn(buf *bytes.Buffer, c *Column) {
+	buf.WriteByte(byte(c.Type))
+	buf.WriteByte(byte(c.Enc))
+	writeUvarint(buf, uint64(c.Len))
+
+	// Value arrays (plain values or the dictionary).
+	switch c.Type {
+	case Int64, Timestamp:
+		writeUvarint(buf, uint64(len(c.Ints)))
+		for _, v := range c.Ints {
+			writeVarint(buf, v)
+		}
+	case Float64:
+		writeUvarint(buf, uint64(len(c.Floats)))
+		for _, v := range c.Floats {
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], floatBits(v))
+			buf.Write(tmp[:])
+		}
+	case Bool:
+		writeUvarint(buf, uint64(len(c.Bools)))
+		for _, v := range c.Bools {
+			if v {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+		}
+	case String, Bytes:
+		writeUvarint(buf, uint64(len(c.Strs)))
+		for _, v := range c.Strs {
+			writeString(buf, v)
+		}
+	}
+
+	switch c.Enc {
+	case Plain:
+		if c.Nulls == nil {
+			buf.WriteByte(0)
+		} else {
+			buf.WriteByte(1)
+			for _, v := range c.Nulls {
+				if v {
+					buf.WriteByte(1)
+				} else {
+					buf.WriteByte(0)
+				}
+			}
+		}
+	case Dict:
+		for _, code := range c.Codes {
+			writeUvarint(buf, uint64(code))
+		}
+	case RLE:
+		writeUvarint(buf, uint64(len(c.Runs)))
+		for _, r := range c.Runs {
+			writeUvarint(buf, uint64(r.Count))
+			writeUvarint(buf, uint64(r.ValIdx))
+		}
+	}
+}
+
+// DecodeBatch parses a batch from wire bytes.
+func DecodeBatch(data []byte) (*Batch, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("vector: short batch header: %w", err)
+	}
+	if magic != wireMagic {
+		return nil, fmt.Errorf("vector: bad batch magic %#x", magic)
+	}
+	nFields, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	schema := Schema{Fields: make([]Field, nFields)}
+	for i := range schema.Fields {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		schema.Fields[i] = Field{Name: name, Type: Type(tb)}
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*Column, nFields)
+	for i := range cols {
+		c, err := decodeColumn(r)
+		if err != nil {
+			return nil, fmt.Errorf("vector: column %d: %w", i, err)
+		}
+		if c.Len != int(n) {
+			return nil, fmt.Errorf("vector: column %d length %d != batch %d", i, c.Len, n)
+		}
+		cols[i] = c
+	}
+	return &Batch{Schema: schema, Cols: cols, N: int(n)}, nil
+}
+
+func decodeColumn(r *bytes.Reader) (*Column, error) {
+	tb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	eb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	clen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Column{Type: Type(tb), Enc: Encoding(eb), Len: int(clen)}
+
+	nVals, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	switch c.Type {
+	case Int64, Timestamp:
+		c.Ints = make([]int64, nVals)
+		for i := range c.Ints {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Ints[i] = v
+		}
+	case Float64:
+		c.Floats = make([]float64, nVals)
+		var tmp [8]byte
+		for i := range c.Floats {
+			if _, err := io.ReadFull(r, tmp[:]); err != nil {
+				return nil, err
+			}
+			c.Floats[i] = floatFromBits(binary.LittleEndian.Uint64(tmp[:]))
+		}
+	case Bool:
+		c.Bools = make([]bool, nVals)
+		for i := range c.Bools {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			c.Bools[i] = b != 0
+		}
+	case String, Bytes:
+		c.Strs = make([]string, nVals)
+		for i := range c.Strs {
+			s, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Strs[i] = s
+		}
+	default:
+		return nil, fmt.Errorf("unknown column type %d", tb)
+	}
+
+	switch c.Enc {
+	case Plain:
+		hasNulls, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if hasNulls == 1 {
+			c.Nulls = make([]bool, c.Len)
+			for i := range c.Nulls {
+				b, err := r.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				c.Nulls[i] = b != 0
+			}
+		}
+	case Dict:
+		c.Codes = make([]uint32, c.Len)
+		for i := range c.Codes {
+			v, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Codes[i] = uint32(v)
+		}
+	case RLE:
+		nRuns, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Runs = make([]Run, nRuns)
+		for i := range c.Runs {
+			cnt, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Runs[i] = Run{Count: uint32(cnt), ValIdx: uint32(idx)}
+		}
+	default:
+		return nil, fmt.Errorf("unknown encoding %d", eb)
+	}
+	return c, nil
+}
+
+// EncodeColumn serializes one column (with its physical encoding) to
+// bytes; the columnar file format stores column chunks this way.
+func EncodeColumn(c *Column) []byte {
+	var buf bytes.Buffer
+	encodeColumn(&buf, c)
+	return buf.Bytes()
+}
+
+// DecodeColumn parses a column serialized by EncodeColumn.
+func DecodeColumn(data []byte) (*Column, error) {
+	return decodeColumn(bytes.NewReader(data))
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	buf.Write(tmp[:])
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("vector: string length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"biglake/internal/catalog"
+	"biglake/internal/colfmt"
+	"biglake/internal/security"
+	"biglake/internal/sim"
+	"biglake/internal/vector"
+)
+
+// TPCHConfig scales the TPC-H-like schema.
+type TPCHConfig struct {
+	Orders       int
+	LinesPerFile int
+	LineFiles    int
+	Customers    int
+	Seed         uint64
+}
+
+// DefaultTPCH returns a laptop-scale configuration.
+func DefaultTPCH(scale int) TPCHConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return TPCHConfig{
+		Orders:       600 * scale,
+		LinesPerFile: 600,
+		LineFiles:    4 * scale,
+		Customers:    150,
+		Seed:         1992,
+	}
+}
+
+// LineitemSchema is the TPC-H fact.
+func LineitemSchema() vector.Schema {
+	return vector.NewSchema(
+		vector.Field{Name: "l_orderkey", Type: vector.Int64},
+		vector.Field{Name: "l_partkey", Type: vector.Int64},
+		vector.Field{Name: "l_quantity", Type: vector.Int64},
+		vector.Field{Name: "l_price", Type: vector.Float64},
+		vector.Field{Name: "l_shipdate", Type: vector.Int64},
+	)
+}
+
+// OrdersSchema is the TPC-H orders table.
+func OrdersSchema() vector.Schema {
+	return vector.NewSchema(
+		vector.Field{Name: "o_orderkey", Type: vector.Int64},
+		vector.Field{Name: "o_custkey", Type: vector.Int64},
+		vector.Field{Name: "o_totalprice", Type: vector.Float64},
+		vector.Field{Name: "o_orderdate", Type: vector.Int64},
+	)
+}
+
+// TPCHCustomerSchema is the TPC-H customer table.
+func TPCHCustomerSchema() vector.Schema {
+	return vector.NewSchema(
+		vector.Field{Name: "c_custkey", Type: vector.Int64},
+		vector.Field{Name: "c_mktsegment", Type: vector.String},
+	)
+}
+
+var segments = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+
+// synthDate produces a yyyymmdd integer in [1992-01-01, 1997-12-28].
+func synthDate(rng *sim.RNG) int64 {
+	y := 1992 + rng.Intn(6)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	return int64(y)*10000 + int64(m)*100 + int64(d)
+}
+
+// LoadTPCH materializes lineitem as a BigLake table plus orders and
+// customer as BigLake tables (all open-format files on the bucket), so
+// external engines can run both the direct and Read API paths over
+// them (E4).
+func LoadTPCH(env *Env, cfg TPCHConfig) error {
+	rng := sim.NewRNG(cfg.Seed)
+
+	// lineitem: several files, orderkeys ascending for prunability.
+	if err := env.Catalog.CreateTable(catalog.Table{
+		Dataset: env.Dataset, Name: "lineitem", Type: catalog.BigLake,
+		Schema: LineitemSchema(), Cloud: env.Cloud, Bucket: env.Bucket,
+		Prefix: "tpch/lineitem/", Connection: env.Connection, MetadataCaching: true,
+	}); err != nil {
+		return err
+	}
+	next := int64(0)
+	for f := 0; f < cfg.LineFiles; f++ {
+		bl := vector.NewBuilder(LineitemSchema())
+		for r := 0; r < cfg.LinesPerFile; r++ {
+			bl.Append(
+				vector.IntValue(next%int64(cfg.Orders)),
+				vector.IntValue(int64(rng.Intn(500))),
+				vector.IntValue(int64(1+rng.Intn(50))),
+				vector.FloatValue(float64(rng.Intn(100000))/100),
+				vector.IntValue(synthDate(rng)),
+			)
+			next++
+		}
+		file, err := colfmt.WriteFile(bl.Build(), colfmt.WriterOptions{})
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("tpch/lineitem/part-%03d.blk", f)
+		if _, err := env.Store.Put(env.Cred, env.Bucket, key, file, "application/x-blk"); err != nil {
+			return err
+		}
+	}
+
+	// orders + customer as single-file BigLake tables.
+	singles := []struct {
+		name   string
+		schema vector.Schema
+		fill   func(*vector.Builder)
+	}{
+		{"orders", OrdersSchema(), func(bl *vector.Builder) {
+			for i := 0; i < cfg.Orders; i++ {
+				bl.Append(vector.IntValue(int64(i)),
+					vector.IntValue(int64(i%cfg.Customers)),
+					vector.FloatValue(float64(rng.Intn(500000))/100),
+					vector.IntValue(synthDate(rng)))
+			}
+		}},
+		{"customer", TPCHCustomerSchema(), func(bl *vector.Builder) {
+			for i := 0; i < cfg.Customers; i++ {
+				bl.Append(vector.IntValue(int64(i)), vector.StringValue(segments[i%len(segments)]))
+			}
+		}},
+	}
+	for _, s := range singles {
+		if err := env.Catalog.CreateTable(catalog.Table{
+			Dataset: env.Dataset, Name: s.name, Type: catalog.BigLake,
+			Schema: s.schema, Cloud: env.Cloud, Bucket: env.Bucket,
+			Prefix: fmt.Sprintf("tpch/%s/", s.name), Connection: env.Connection, MetadataCaching: true,
+		}); err != nil {
+			return err
+		}
+		bl := vector.NewBuilder(s.schema)
+		s.fill(bl)
+		file, err := colfmt.WriteFile(bl.Build(), colfmt.WriterOptions{})
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("tpch/%s/part-000.blk", s.name)
+		if _, err := env.Store.Put(env.Cred, env.Bucket, key, file, "application/x-blk"); err != nil {
+			return err
+		}
+	}
+	for _, name := range []string{"lineitem", "orders", "customer"} {
+		full := env.Dataset + "." + name
+		if err := env.Auth.GrantTable(env.Admin, full, env.Admin, security.RoleOwner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TPCHQueries is the SQL query set for engine-side runs (E9).
+func TPCHQueries(ds string) []Query {
+	return []Query{
+		{ID: "h01", Kind: "aggregate", SQL: fmt.Sprintf(
+			`SELECT l_quantity, COUNT(*) AS cnt, SUM(l_price) AS total
+			 FROM %s.lineitem WHERE l_shipdate <= 19930101 GROUP BY l_quantity ORDER BY l_quantity LIMIT 10`, ds)},
+		{ID: "h03", Kind: "star-join", SQL: fmt.Sprintf(
+			`SELECT o.o_orderkey, SUM(l.l_price) AS revenue
+			 FROM %s.lineitem AS l JOIN %s.orders AS o ON l.l_orderkey = o.o_orderkey
+			 WHERE o.o_totalprice > 4000.0 GROUP BY o.o_orderkey ORDER BY revenue DESC LIMIT 10`, ds, ds)},
+		{ID: "h05", Kind: "star-join", SQL: fmt.Sprintf(
+			`SELECT c.c_mktsegment, SUM(o.o_totalprice) AS total
+			 FROM %s.orders AS o JOIN %s.customer AS c ON o.o_custkey = c.c_custkey
+			 GROUP BY c.c_mktsegment ORDER BY total DESC`, ds, ds)},
+		{ID: "h06", Kind: "prunable", SQL: fmt.Sprintf(
+			`SELECT SUM(l_price) AS revenue FROM %s.lineitem
+			 WHERE l_shipdate >= 19930101 AND l_quantity < 25`, ds)},
+		{ID: "h12", Kind: "scan", SQL: fmt.Sprintf(
+			`SELECT COUNT(*) AS cnt FROM %s.lineitem WHERE l_partkey >= 0`, ds)},
+	}
+}
