@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the full gate; the chaos soak
+# runs under the race detector because that is where fan-out bugs live.
+
+GO ?= go
+
+.PHONY: all vet build test race chaos bench ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The chaos soak: TPC-H under injected object-store faults, race-clean.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/resilience/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: vet build test race chaos

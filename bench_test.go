@@ -231,3 +231,25 @@ func BenchmarkA4WireEncoding(b *testing.B) {
 		b.ReportMetric(res.Reduction, "payload_reduction_x")
 	}
 }
+
+// BenchmarkE13Availability: TPC-H under injected object-store faults —
+// the resilience layer's success rate at a 3% per-op fault rate vs the
+// no-retry baseline (DESIGN.md experiment E13).
+func BenchmarkE13Availability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE13(1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.FaultRate == 0.03 {
+				switch r.Arm {
+				case "resilient":
+					b.ReportMetric(100*r.SuccessRate, "resilient_success_pct")
+				case "no-retry":
+					b.ReportMetric(100*r.SuccessRate, "noretry_success_pct")
+				}
+			}
+		}
+	}
+}

@@ -27,7 +27,7 @@ func main() {
 	}
 	ids := args
 	if len(args) == 1 && strings.EqualFold(args[0], "all") {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3", "a4"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2", "a3", "a4"}
 	}
 	for _, id := range ids {
 		if err := run(strings.ToLower(id)); err != nil {
@@ -40,7 +40,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] <experiment>...
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 a1 a2 a3 a4 all`)
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3 a4 all`)
 }
 
 func header(title string) {
@@ -200,6 +200,18 @@ func run(id string) error {
 		}
 		header("A4 | ablation: dictionary/RLE retention on the ReadRows wire")
 		fmt.Printf("plain=%dB  encoded=%dB  reduction=%.1fx\n", res.PlainBytes, res.EncodedBytes, res.Reduction)
+	case "e13":
+		res, err := exp.RunE13(*scale, 40)
+		if err != nil {
+			return err
+		}
+		header("E13 | availability under injected object-store faults (TPC-H)")
+		fmt.Printf("%-6s %-10s %8s %10s %9s %8s %7s %8s\n",
+			"rate", "arm", "queries", "succeeded", "success%", "retries", "hedges", "faults")
+		for _, r := range res.Rows {
+			fmt.Printf("%-6s %-10s %8d %10d %8.1f%% %8d %7d %8d\n",
+				fmt.Sprintf("%.0f%%", 100*r.FaultRate), r.Arm, r.Queries, r.Succeeded, 100*r.SuccessRate, r.Retries, r.Hedges, r.FaultsInjected)
+		}
 	default:
 		usage()
 		return fmt.Errorf("unknown experiment %q", id)

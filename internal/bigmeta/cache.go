@@ -26,6 +26,7 @@ import (
 
 	"biglake/internal/colfmt"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
 )
@@ -87,6 +88,11 @@ type Cache struct {
 	clock *sim.Clock
 	meter *sim.Meter
 
+	// Res is the retry policy for the store operations a refresh
+	// issues; a refresh that hits a transient LIST/GET fault retries
+	// rather than leaving the cache unbuilt. Nil means no retries.
+	Res *resilience.Policy
+
 	mu        sync.RWMutex
 	entries   map[string][]FileEntry
 	refreshed map[string]time.Duration
@@ -97,9 +103,12 @@ func NewCache(clock *sim.Clock, meter *sim.Meter) *Cache {
 	if meter == nil {
 		meter = &sim.Meter{}
 	}
+	res := resilience.DefaultPolicy()
+	res.Meter = meter
 	return &Cache{
 		clock:     clock,
 		meter:     meter,
+		Res:       res,
 		entries:   make(map[string][]FileEntry),
 		refreshed: make(map[string]time.Duration),
 	}
@@ -128,7 +137,10 @@ func (c *Cache) Refresh(table string, store *objstore.Store, cred objstore.Crede
 	if opts.Background {
 		listCharger = c.clock.StartTrack()
 	}
-	infos, err := listAll(store, cred, bucket, prefix, listCharger)
+	// Each refresh gets its own retry budget, seeded by the table name
+	// so fault sequences reproduce.
+	bud := resilience.NewBudget(c.clock, refreshRetryBudget, resilience.Seed64(table))
+	infos, err := resilience.ListAll(c.Res, listCharger, bud, store, cred, bucket, prefix)
 	if err != nil {
 		return 0, err
 	}
@@ -165,7 +177,7 @@ func (c *Cache) Refresh(table string, store *objstore.Store, cred objstore.Crede
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tr := tracks[i%RefreshWorkers]
-			stats, rows, err := readFooterStats(store, cred, bucket, key, tr)
+			stats, rows, err := readFooterStats(c.Res, bud, store, cred, bucket, key, tr)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -197,38 +209,45 @@ func (c *Cache) Refresh(table string, store *objstore.Store, cred objstore.Crede
 	return len(entries), nil
 }
 
-func listAll(store *objstore.Store, cred objstore.Credential, bucket, prefix string, ch sim.Charger) ([]objstore.ObjectInfo, error) {
-	var out []objstore.ObjectInfo
-	token := ""
-	for {
-		page, err := store.ListOn(ch, cred, bucket, prefix, token)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, page.Objects...)
-		if page.NextToken == "" {
-			return out, nil
-		}
-		token = page.NextToken
-	}
-}
+// refreshRetryBudget bounds the retries one refresh pass may spend
+// across its LIST pages and footer reads.
+const refreshRetryBudget = 64
 
 // readFooterStats performs the two ranged reads a real engine does:
-// the trailer to learn the footer size, then the footer itself.
-func readFooterStats(store *objstore.Store, cred objstore.Credential, bucket, key string, tr *sim.Track) (map[string]colfmt.ColumnStats, int64, error) {
-	info, err := store.HeadOn(tr, cred, bucket, key)
-	if err != nil {
+// the trailer to learn the footer size, then the footer itself. Remote
+// calls retry under the cache's policy; ranged reads are hedged.
+func readFooterStats(res *resilience.Policy, bud *resilience.Budget, store *objstore.Store, cred objstore.Credential, bucket, key string, tr *sim.Track) (map[string]colfmt.ColumnStats, int64, error) {
+	var info objstore.ObjectInfo
+	if err := res.Do(tr, bud, "HEAD "+bucket+"/"+key, func() error {
+		var e error
+		info, e = store.HeadOn(tr, cred, bucket, key)
+		return e
+	}); err != nil {
 		return nil, 0, err
 	}
-	tail, _, err := store.GetRangeOn(tr, cred, bucket, key, max64(0, info.Size-64*1024), -1)
-	if err != nil {
+	var tail []byte
+	if err := res.HedgedDo(tr, bud, "GET "+bucket+"/"+key, func(ch sim.Charger) error {
+		d, _, e := store.GetRangeOn(ch, cred, bucket, key, max64(0, info.Size-64*1024), -1)
+		if e != nil {
+			return e
+		}
+		tail = d
+		return nil
+	}); err != nil {
 		return nil, 0, err
 	}
 	footer, err := colfmt.ReadFooter(tail)
 	if err != nil {
 		// Footer larger than our 64KB guess: fall back to full read.
-		full, _, err2 := store.GetOn(tr, cred, bucket, key)
-		if err2 != nil {
+		var full []byte
+		if err2 := res.HedgedDo(tr, bud, "GET "+bucket+"/"+key, func(ch sim.Charger) error {
+			d, _, e := store.GetOn(ch, cred, bucket, key)
+			if e != nil {
+				return e
+			}
+			full = d
+			return nil
+		}); err2 != nil {
 			return nil, 0, err2
 		}
 		footer, err = colfmt.ReadFooter(full)

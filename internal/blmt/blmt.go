@@ -20,6 +20,7 @@ import (
 	"biglake/internal/engine"
 	"biglake/internal/iceberg"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
@@ -51,6 +52,12 @@ type Manager struct {
 	// every commit (the §3.5 "future" behaviour, implemented).
 	AutoIceberg bool
 
+	// Res is the retry policy for data-file reads/writes and the
+	// Iceberg export commit CAS. Nil behaves like resilience.NoRetry.
+	Res *resilience.Policy
+	// Meter records the manager's retry/fault counters.
+	Meter *sim.Meter
+
 	seq int64
 }
 
@@ -58,7 +65,10 @@ var _ engine.Mutator = (*Manager)(nil)
 
 // New assembles a Manager.
 func New(cat *catalog.Catalog, auth *security.Authority, log *bigmeta.Log, clock *sim.Clock, stores map[string]*objstore.Store) *Manager {
-	return &Manager{Catalog: cat, Auth: auth, Log: log, Clock: clock, Stores: stores}
+	meter := &sim.Meter{}
+	res := resilience.DefaultPolicy()
+	res.Meter = meter
+	return &Manager{Catalog: cat, Auth: auth, Log: log, Clock: clock, Stores: stores, Res: res, Meter: meter}
 }
 
 func (m *Manager) store(cloud string) (*objstore.Store, error) {
@@ -97,16 +107,21 @@ func (m *Manager) managedTable(name string) (catalog.Table, *objstore.Store, obj
 }
 
 // writeDataFile materializes a batch as one data file and returns its
-// metadata entry.
-func (m *Manager) writeDataFile(t catalog.Table, store *objstore.Store, cred objstore.Credential, rows *vector.Batch, tag string) (bigmeta.FileEntry, error) {
+// metadata entry. The PUT retries under the manager's policy against
+// bud (nil = no per-query budget).
+func (m *Manager) writeDataFile(t catalog.Table, store *objstore.Store, cred objstore.Credential, bud *resilience.Budget, rows *vector.Batch, tag string) (bigmeta.FileEntry, error) {
 	file, err := colfmt.WriteFile(rows, colfmt.WriterOptions{})
 	if err != nil {
 		return bigmeta.FileEntry{}, err
 	}
 	m.seq++
 	key := fmt.Sprintf("%sdata/%s-%06d.blk", t.Prefix, tag, m.seq)
-	info, err := store.Put(cred, t.Bucket, key, file, "application/x-blk")
-	if err != nil {
+	var info objstore.ObjectInfo
+	if err := m.Res.Do(m.Clock, bud, "PUT "+t.Bucket+"/"+key, func() error {
+		var pe error
+		info, pe = store.Put(cred, t.Bucket, key, file, "application/x-blk")
+		return pe
+	}); err != nil {
 		return bigmeta.FileEntry{}, err
 	}
 	footer, err := colfmt.ReadFooter(file)
@@ -149,7 +164,7 @@ func (m *Manager) Insert(ctx *engine.QueryContext, table string, rows *vector.Ba
 	if err != nil {
 		return err
 	}
-	entry, err := m.writeDataFile(t, store, cred, aligned, "insert")
+	entry, err := m.writeDataFile(t, store, cred, ctx.Budget, aligned, "insert")
 	if err != nil {
 		return err
 	}
@@ -205,8 +220,12 @@ func (m *Manager) rewrite(ctx *engine.QueryContext, table, tag string, transform
 	var delta bigmeta.TableDelta
 	var affected int64
 	for _, f := range files {
-		data, _, err := store.Get(cred, f.Bucket, f.Key)
-		if err != nil {
+		var data []byte
+		if err := m.Res.Do(m.Clock, ctx.Budget, "GET "+f.Bucket+"/"+f.Key, func() error {
+			var ge error
+			data, _, ge = store.Get(cred, f.Bucket, f.Key)
+			return ge
+		}); err != nil {
 			return 0, err
 		}
 		r, err := colfmt.NewVectorizedReader(data, nil, nil)
@@ -230,7 +249,7 @@ func (m *Manager) rewrite(ctx *engine.QueryContext, table, tag string, transform
 		}
 		delta.Removed = append(delta.Removed, f.Key)
 		if out != nil && out.N > 0 {
-			entry, err := m.writeDataFile(t, store, cred, out, tag)
+			entry, err := m.writeDataFile(t, store, cred, ctx.Budget, out, tag)
 			if err != nil {
 				return 0, err
 			}
@@ -390,8 +409,12 @@ func (m *Manager) Optimize(principal, table, clusterBy string) (OptimizeReport, 
 	var combined *vector.Batch
 	var delta bigmeta.TableDelta
 	for _, f := range merge {
-		data, _, err := store.Get(cred, f.Bucket, f.Key)
-		if err != nil {
+		var data []byte
+		if err := m.Res.Do(m.Clock, nil, "GET "+f.Bucket+"/"+f.Key, func() error {
+			var ge error
+			data, _, ge = store.Get(cred, f.Bucket, f.Key)
+			return ge
+		}); err != nil {
 			return OptimizeReport{}, err
 		}
 		r, err := colfmt.NewVectorizedReader(data, nil, nil)
@@ -447,7 +470,7 @@ func (m *Manager) Optimize(principal, table, clusterBy string) (OptimizeReport, 
 		if err != nil {
 			return OptimizeReport{}, err
 		}
-		entry, err := m.writeDataFile(t, store, cred, chunk, "optimize")
+		entry, err := m.writeDataFile(t, store, cred, nil, chunk, "optimize")
 		if err != nil {
 			return OptimizeReport{}, err
 		}
@@ -515,7 +538,7 @@ func (m *Manager) GarbageCollect(table string, minAge time.Duration) (int, error
 	for _, f := range files {
 		live[f.Key] = true
 	}
-	infos, err := store.ListAll(cred, t.Bucket, t.Prefix+"data/")
+	infos, err := resilience.ListAll(m.Res, m.Clock, nil, store, cred, t.Bucket, t.Prefix+"data/")
 	if err != nil {
 		return 0, err
 	}
@@ -528,7 +551,10 @@ func (m *Manager) GarbageCollect(table string, minAge time.Duration) (int, error
 		if now-info.Updated < minAge {
 			continue
 		}
-		if err := store.Delete(cred, t.Bucket, info.Key); err != nil {
+		key := info.Key
+		if err := m.Res.Do(m.Clock, nil, "DELETE "+t.Bucket+"/"+key, func() error {
+			return store.Delete(cred, t.Bucket, key)
+		}); err != nil {
 			return deleted, err
 		}
 		deleted++
@@ -547,5 +573,5 @@ func (m *Manager) ExportIceberg(table string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return iceberg.Export(store, cred, t.Bucket, t.Prefix, table, t.Schema, files, version)
+	return iceberg.Export(m.Res, store, cred, t.Bucket, t.Prefix, table, t.Schema, files, version)
 }

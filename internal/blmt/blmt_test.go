@@ -11,6 +11,7 @@ import (
 	"biglake/internal/engine"
 	"biglake/internal/iceberg"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
@@ -371,6 +372,7 @@ func TestCommitThroughputExceedsIcebergOnObjectStore(t *testing.T) {
 
 func TestFailedInsertLeavesNoPartialState(t *testing.T) {
 	ev := newEnv(t)
+	ev.mgr.Res = resilience.NoRetry() // surface the raw fault
 	ev.createEvents(t)
 	ev.sql(t, "INSERT INTO ds.events VALUES (1, 'a', 1.0)")
 	versionBefore := ev.log.Version()
@@ -397,6 +399,7 @@ func TestFailedInsertLeavesNoPartialState(t *testing.T) {
 
 func TestFailedDeleteLeavesTableReadable(t *testing.T) {
 	ev := newEnv(t)
+	ev.mgr.Res = resilience.NoRetry() // surface the raw fault
 	ev.createEvents(t)
 	ev.sql(t, "INSERT INTO ds.events VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
 	ev.store.FailNext(1) // reading the file back fails mid-rewrite
@@ -406,5 +409,21 @@ func TestFailedDeleteLeavesTableReadable(t *testing.T) {
 	res := ev.sql(t, "SELECT COUNT(*) AS n FROM ds.events")
 	if res.Batch.Column("n").Value(0).AsInt() != 2 {
 		t.Fatal("failed delete mutated the table")
+	}
+}
+
+func TestRetriesAbsorbTransientInsertFault(t *testing.T) {
+	// Under the default policy the same single PUT fault never reaches
+	// the caller: the write retries and commits.
+	ev := newEnv(t)
+	ev.createEvents(t)
+	ev.store.FailNext(1)
+	ev.sql(t, "INSERT INTO ds.events VALUES (1, 'a', 1.0)")
+	res := ev.sql(t, "SELECT COUNT(*) AS n FROM ds.events")
+	if res.Batch.Column("n").Value(0).AsInt() != 1 {
+		t.Fatal("insert did not survive the transient fault")
+	}
+	if ev.mgr.Meter.Get("retries") == 0 {
+		t.Fatal("expected a metered retry")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/shuffle"
 	"biglake/internal/sim"
@@ -33,6 +34,11 @@ var (
 
 // ScanWorkers is the per-scan parallelism of the worker pool.
 const ScanWorkers = 16
+
+// QueryRetryBudget is the total number of object-store retries one
+// query may spend across all its operations; past it, faults surface
+// even if individual operations still have attempts left.
+const QueryRetryBudget = 64
 
 // ScalarFunc implements a registered scalar function (e.g.
 // ML.DECODE_IMAGE). It receives evaluated argument columns and the
@@ -86,6 +92,9 @@ type Engine struct {
 	Shuffle *shuffle.Service
 	Meter   *sim.Meter
 	Opts    Options
+	// Res is the retry/hedging policy applied to every object-store
+	// operation the engine issues. Nil behaves like resilience.NoRetry.
+	Res *resilience.Policy
 
 	// Stores maps cloud name -> that cloud's object store.
 	Stores map[string]*objstore.Store
@@ -102,6 +111,9 @@ type Engine struct {
 
 // New assembles an engine.
 func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, log *bigmeta.Log, clock *sim.Clock, stores map[string]*objstore.Store, opts Options) *Engine {
+	meter := &sim.Meter{}
+	res := resilience.DefaultPolicy()
+	res.Meter = meter
 	return &Engine{
 		Catalog: cat,
 		Auth:    auth,
@@ -109,8 +121,9 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 		Log:     log,
 		Clock:   clock,
 		Shuffle: shuffle.New(clock, nil),
-		Meter:   &sim.Meter{},
+		Meter:   meter,
 		Opts:    opts,
+		Res:     res,
 		Stores:  stores,
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]TVFFunc),
@@ -174,7 +187,15 @@ type QueryContext struct {
 	// credential scoping (§5.3.1), limiting the blast radius of a
 	// compromised worker to the paths the query legitimately needs.
 	Scope []string
-	Stats ExecStats
+	// Deadline, when > 0, bounds the query to that much simulated time
+	// from execution start; once it passes, every further object-store
+	// operation fails with resilience.ErrDeadlineExceeded, so a retry
+	// storm cannot run unbounded.
+	Deadline time.Duration
+	// Budget is the per-query retry budget; Execute seeds one from the
+	// query ID when unset.
+	Budget *resilience.Budget
+	Stats  ExecStats
 }
 
 // NewContext builds a query context.
@@ -202,10 +223,22 @@ func (e *Engine) Query(ctx *QueryContext, sql string) (*Result, error) {
 func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, error) {
 	ctx.Stats.SimStart = e.Clock.Now()
 	defer func() { ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart }()
+	if ctx.Budget == nil {
+		ctx.Budget = resilience.NewBudget(e.Clock, QueryRetryBudget, resilience.Seed64(ctx.QueryID))
+	}
+	if ctx.Deadline > 0 {
+		ctx.Budget.SetDeadline(ctx.Stats.SimStart + ctx.Deadline)
+	}
 	switch s := stmt.(type) {
 	case *sqlparse.SelectStmt:
 		b, err := e.execSelect(ctx, s)
 		if err != nil {
+			return nil, err
+		}
+		// Deadline enforcement at completion: a query whose I/O pushed
+		// the clock past the deadline is killed even if every individual
+		// operation squeaked through its per-attempt check.
+		if err := ctx.Budget.CheckDeadline(e.Clock); err != nil {
 			return nil, err
 		}
 		ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart

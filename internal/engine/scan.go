@@ -9,6 +9,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
 	"biglake/internal/vector"
@@ -83,7 +84,7 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 	} else {
 		// Slow path: list the bucket, then peek at each file's footer
 		// to decide skippability — all on the critical path.
-		infos, err := store.ListAll(cred, t.Bucket, t.Prefix)
+		infos, err := resilience.ListAll(e.Res, e.Clock, ctx.Budget, store, cred, t.Bucket, t.Prefix)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +110,7 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 			go func(i int, key string) {
 				defer wg.Done()
 				tr := tracks[i%ScanWorkers]
-				stats, rows, err := footerPeek(store, cred, t.Bucket, key, tr)
+				stats, rows, err := footerPeek(e.Res, ctx.Budget, store, cred, t.Bucket, key, tr)
 				if err != nil {
 					errs <- err
 					return
@@ -142,24 +143,43 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 
 // footerPeek reads a file's footer statistics on the query path — the
 // extra object reads §3.3 describes for engines without a metadata
-// cache.
-func footerPeek(store *objstore.Store, cred objstore.Credential, bucket, key string, tr *sim.Track) (map[string]colfmt.ColumnStats, int64, error) {
-	info, err := store.HeadOn(tr, cred, bucket, key)
-	if err != nil {
+// cache. Each remote call retries under the policy; the ranged reads
+// are hedged against storage tail latency.
+func footerPeek(res *resilience.Policy, bud *resilience.Budget, store *objstore.Store, cred objstore.Credential, bucket, key string, tr *sim.Track) (map[string]colfmt.ColumnStats, int64, error) {
+	var info objstore.ObjectInfo
+	if err := res.Do(tr, bud, "HEAD "+bucket+"/"+key, func() error {
+		var e error
+		info, e = store.HeadOn(tr, cred, bucket, key)
+		return e
+	}); err != nil {
 		return nil, 0, err
 	}
 	off := info.Size - 64*1024
 	if off < 0 {
 		off = 0
 	}
-	tail, _, err := store.GetRangeOn(tr, cred, bucket, key, off, -1)
-	if err != nil {
+	var tail []byte
+	if err := res.HedgedDo(tr, bud, "GET "+bucket+"/"+key, func(ch sim.Charger) error {
+		d, _, e := store.GetRangeOn(ch, cred, bucket, key, off, -1)
+		if e != nil {
+			return e
+		}
+		tail = d
+		return nil
+	}); err != nil {
 		return nil, 0, err
 	}
 	footer, err := colfmt.ReadFooter(tail)
 	if err != nil {
-		full, _, err2 := store.GetOn(tr, cred, bucket, key)
-		if err2 != nil {
+		var full []byte
+		if err2 := res.HedgedDo(tr, bud, "GET "+bucket+"/"+key, func(ch sim.Charger) error {
+			d, _, e := store.GetOn(ch, cred, bucket, key)
+			if e != nil {
+				return e
+			}
+			full = d
+			return nil
+		}); err2 != nil {
 			return nil, 0, err2
 		}
 		if footer, err = colfmt.ReadFooter(full); err != nil {
@@ -226,7 +246,15 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tr := tracks[i%ScanWorkers]
-			data, _, err := store.GetOn(tr, cred, f.Bucket, f.Key)
+			var data []byte
+			err := e.Res.HedgedDo(tr, ctx.Budget, "GET "+f.Bucket+"/"+f.Key, func(ch sim.Charger) error {
+				d, _, ge := store.GetOn(ch, cred, f.Bucket, f.Key)
+				if ge != nil {
+					return ge
+				}
+				data = d
+				return nil
+			})
 			if err != nil {
 				errs <- err
 				return
@@ -371,7 +399,7 @@ func (e *Engine) scanObjectTable(ctx *QueryContext, t catalog.Table) (*vector.Ba
 	} else {
 		// Without the cache the engine lists the bucket per query —
 		// the hours-long path for billions of objects (§4.1).
-		infos, err := store.ListAll(cred, t.Bucket, t.Prefix)
+		infos, err := resilience.ListAll(e.Res, e.Clock, ctx.Budget, store, cred, t.Bucket, t.Prefix)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,9 @@
 package exp
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // These tests assert the paper-shaped outcome of every experiment at
 // small scale; bench_test.go at the repository root reruns them as
@@ -46,9 +49,16 @@ func TestE2VectorizedReaderShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Paper: ~2x read throughput. Allow >= 1.4x for CI noise.
-	if res.ThroughputGain < 1.4 {
-		t.Fatalf("vectorized gain = %.2fx, want >= 1.4x", res.ThroughputGain)
+	// Paper: ~2x read throughput. Allow >= 1.4x for CI noise. Race
+	// instrumentation penalizes the vectorized reader's tight loops
+	// more than the row reader's allocation-bound ones and compresses
+	// the measured gain, so under -race only require no regression.
+	want := 1.4
+	if raceEnabled {
+		want = 1.0
+	}
+	if res.ThroughputGain < want {
+		t.Fatalf("vectorized gain = %.2fx, want >= %.1fx", res.ThroughputGain, want)
 	}
 }
 
@@ -234,5 +244,38 @@ func TestA4WireEncodingShape(t *testing.T) {
 	}
 	if res.Reduction < 2 {
 		t.Fatalf("wire reduction = %.1fx, want >= 2x", res.Reduction)
+	}
+}
+
+func TestE13AvailabilityShape(t *testing.T) {
+	res, err := RunE13(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[string]E13Row{}
+	for _, r := range res.Rows {
+		byKey[fmt.Sprintf("%s@%.2f", r.Arm, r.FaultRate)] = r
+	}
+	// Fault-free: both arms perfect, no retries spent.
+	if byKey["no-retry@0.00"].SuccessRate != 1 || byKey["resilient@0.00"].SuccessRate != 1 {
+		t.Fatal("fault-free arms must be perfect")
+	}
+	if byKey["resilient@0.00"].Retries != 0 {
+		t.Fatal("no faults, no retries")
+	}
+	// Under faults: the resilient arm holds >= 99% while no-retry
+	// visibly degrades, and the absorption is paid for in retries.
+	r3, n3 := byKey["resilient@0.03"], byKey["no-retry@0.03"]
+	if r3.SuccessRate < 0.99 {
+		t.Fatalf("resilient success at 3%% = %.3f, want >= 0.99", r3.SuccessRate)
+	}
+	if n3.SuccessRate >= r3.SuccessRate {
+		t.Fatalf("no-retry (%.3f) should underperform resilient (%.3f)", n3.SuccessRate, r3.SuccessRate)
+	}
+	if r3.Retries == 0 || r3.FaultsInjected == 0 {
+		t.Fatalf("resilient arm saw no chaos: retries=%d faults=%d", r3.Retries, r3.FaultsInjected)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in, so
+// real-CPU-time shape tests can relax thresholds that race
+// instrumentation (~5-10x slowdown, unevenly distributed) distorts.
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 
 	"biglake/internal/bigmeta"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/vector"
 )
 
@@ -111,7 +112,13 @@ func icebergType(t vector.Type) string {
 // bucket under prefix ("metadata/..."), returning the key of the
 // table-metadata JSON. snapshotID should be the Big Metadata log
 // version the snapshot reflects.
-func Export(store *objstore.Store, cred objstore.Credential, bucket, prefix, tableName string, schema vector.Schema, files []bigmeta.FileEntry, snapshotID int64) (string, error) {
+//
+// Metadata writes retry under res (nil = no retries). The version-hint
+// object — the pointer concurrent exporters race on — is written with
+// a generation precondition and a bounded reload-and-re-CAS loop, so
+// contention between exporters surfaces as a clean ordered outcome
+// rather than a fatal ErrPreconditionFail.
+func Export(res *resilience.Policy, store *objstore.Store, cred objstore.Credential, bucket, prefix, tableName string, schema vector.Schema, files []bigmeta.FileEntry, snapshotID int64) (string, error) {
 	now := int64(store.Clock().Now() / time.Millisecond)
 
 	manifest := Manifest{}
@@ -143,7 +150,10 @@ func Export(store *objstore.Store, cred objstore.Credential, bucket, prefix, tab
 	if err != nil {
 		return "", err
 	}
-	if _, err := store.Put(cred, bucket, manifestKey, manifestJSON, "application/json"); err != nil {
+	if err := res.Do(store.Clock(), nil, "PUT "+bucket+"/"+manifestKey, func() error {
+		_, e := store.Put(cred, bucket, manifestKey, manifestJSON, "application/json")
+		return e
+	}); err != nil {
 		return "", err
 	}
 
@@ -155,7 +165,10 @@ func Export(store *objstore.Store, cred objstore.Credential, bucket, prefix, tab
 	if err != nil {
 		return "", err
 	}
-	if _, err := store.Put(cred, bucket, listKey, listJSON, "application/json"); err != nil {
+	if err := res.Do(store.Clock(), nil, "PUT "+bucket+"/"+listKey, func() error {
+		_, e := store.Put(cred, bucket, listKey, listJSON, "application/json")
+		return e
+	}); err != nil {
 		return "", err
 	}
 
@@ -182,11 +195,39 @@ func Export(store *objstore.Store, cred objstore.Credential, bucket, prefix, tab
 		return "", err
 	}
 	metaKey := fmt.Sprintf("%smetadata/v%d.metadata.json", prefix, snapshotID)
-	if _, err := store.Put(cred, bucket, metaKey, metaJSON, "application/json"); err != nil {
+	if err := res.Do(store.Clock(), nil, "PUT "+bucket+"/"+metaKey, func() error {
+		_, e := store.Put(cred, bucket, metaKey, metaJSON, "application/json")
+		return e
+	}); err != nil {
 		return "", err
 	}
-	// version-hint lets engines discover the latest metadata file.
-	if _, err := store.Put(cred, bucket, prefix+"metadata/version-hint.text", []byte(metaKey), "text/plain"); err != nil {
+	// version-hint lets engines discover the latest metadata file. It is
+	// the one object concurrent exporters overwrite, so it commits via
+	// compare-and-swap on the observed generation; on conflict the loop
+	// reloads the generation and re-CASes (bounded attempts).
+	hintKey := prefix + "metadata/version-hint.text"
+	var hintGen int64
+	loadGen := func() error {
+		return res.Do(store.Clock(), nil, "HEAD "+bucket+"/"+hintKey, func() error {
+			info, err := store.Head(cred, bucket, hintKey)
+			if errors.Is(err, objstore.ErrNoSuchObject) {
+				hintGen = 0
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			hintGen = info.Generation
+			return nil
+		})
+	}
+	if err := loadGen(); err != nil {
+		return "", err
+	}
+	if err := res.DoCAS(store.Clock(), nil, "PUT "+bucket+"/"+hintKey, func() error {
+		_, e := store.PutIfGeneration(cred, bucket, hintKey, []byte(metaKey), "text/plain", hintGen)
+		return e
+	}, loadGen); err != nil {
 		return "", err
 	}
 	return metaKey, nil

@@ -47,7 +47,7 @@ func sampleFiles() []bigmeta.FileEntry {
 
 func TestExportAndReadBack(t *testing.T) {
 	st, cred := testStore(t)
-	metaKey, err := Export(st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 7)
+	metaKey, err := Export(nil, st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +72,11 @@ func TestExportAndReadBack(t *testing.T) {
 
 func TestVersionHint(t *testing.T) {
 	st, cred := testStore(t)
-	k1, err := Export(st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 1)
+	k1, err := Export(nil, st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, err := Export(st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 2)
+	k2, err := Export(nil, st, cred, "lake", "t/", "ds.t", sampleSchema(), sampleFiles(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestReadTableMissingSnapshot(t *testing.T) {
 
 func TestExportEmptyTable(t *testing.T) {
 	st, cred := testStore(t)
-	metaKey, err := Export(st, cred, "lake", "t/", "ds.t", sampleSchema(), nil, 1)
+	metaKey, err := Export(nil, st, cred, "lake", "t/", "ds.t", sampleSchema(), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,236 @@
+package objstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"biglake/internal/sim"
+)
+
+// This file is the chaos-grade fault-injection harness for the object
+// store. It generalizes the original FailNext one-shot counter into
+// seeded, deterministic fault *profiles*: per-operation probabilistic
+// transient errors, error streaks (a faulting replica keeps faulting
+// for a few requests), injected tail-latency slowdowns charged through
+// the sim cost model, and per-bucket targeting so cross-cloud (omni)
+// chaos can differ per region.
+//
+// Determinism contract: whether a given call faults is a pure function
+// of (profile seed, operation kind, bucket, key, per-key call index).
+// It does NOT depend on goroutine interleaving, so a parallel scan
+// injected with the same seed sees the same fault set on every run —
+// the property the seeded chaos tests assert.
+
+// Op identifies one object-store data-path operation kind.
+type Op uint8
+
+// Data-path operations faults can target.
+const (
+	OpGet Op = iota
+	OpPut
+	OpList
+	OpHead
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpList:
+		return "LIST"
+	case OpHead:
+		return "HEAD"
+	case OpDelete:
+		return "DELETE"
+	}
+	return "OP?"
+}
+
+// FaultProfile configures probabilistic fault injection for one Store.
+// The zero value injects nothing.
+type FaultProfile struct {
+	// Seed makes the fault sequence reproducible. Two runs of the same
+	// workload under the same seed inject the same faults.
+	Seed uint64
+
+	// Rate is the base probability in [0,1) that a data-path call
+	// returns ErrTransient.
+	Rate float64
+	// PerOp overrides Rate for specific operations (e.g. LIST-heavy
+	// throttling).
+	PerOp map[Op]float64
+	// PerBucket overrides the (possibly PerOp-overridden) rate for
+	// specific buckets — the per-region targeting hook: omni injects a
+	// different profile into each region's store, and within a store a
+	// single hot bucket can be made flakier than the rest.
+	PerBucket map[string]float64
+
+	// StreakLen makes faults bursty: once a call on a key faults, the
+	// next StreakLen-1 calls on that same key also fault. 0 or 1 means
+	// independent faults.
+	StreakLen int
+
+	// SlowdownRate is the probability in [0,1) that a call is charged
+	// Slowdown of extra simulated latency (a storage tail event) —
+	// charged through the operation's sim.Charger like any other
+	// remote cost, so hedged reads can race it.
+	SlowdownRate float64
+	Slowdown     time.Duration
+}
+
+func (p FaultProfile) rateFor(op Op, bucket string) float64 {
+	r := p.Rate
+	if v, ok := p.PerOp[op]; ok {
+		r = v
+	}
+	if v, ok := p.PerBucket[bucket]; ok {
+		r = v
+	}
+	return r
+}
+
+// FaultRecord is one injected event, for reproducible failure logs.
+type FaultRecord struct {
+	Op     Op
+	Bucket string
+	Key    string
+	Call   uint64 // per-(op,bucket,key) call index, 0-based
+	Kind   string // "fault" or "slowdown"
+}
+
+func (r FaultRecord) String() string {
+	return fmt.Sprintf("%s %s %s/%s #%d", r.Kind, r.Op, r.Bucket, r.Key, r.Call)
+}
+
+// injector holds the mutable state behind a FaultProfile.
+type injector struct {
+	prof    FaultProfile
+	mu      sync.Mutex
+	counts  map[string]uint64 // per (op,bucket,key) call counter
+	streaks map[string]int    // forced faults remaining per stream
+	log     []FaultRecord
+}
+
+// splitmix64 finalizer: turns a structured input into uniform bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func hash64(s string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// roll returns a uniform float in [0,1) that is a pure function of its
+// inputs; stream separates the fault and slowdown decision spaces.
+func roll(seed uint64, streamKey string, call, stream uint64) float64 {
+	x := mix64(seed ^ hash64(streamKey) + call*0x9E3779B97F4A7C15 + stream*0xD1B54A32D192ED03)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// decide consumes one call against the profile, returning an injected
+// error (or nil) and recording slowdown charges on ch.
+func (in *injector) decide(op Op, bucket, key string, ch sim.Charger, meter *sim.Meter) error {
+	in.mu.Lock()
+	streamKey := op.String() + "|" + bucket + "|" + key
+	call := in.counts[streamKey]
+	in.counts[streamKey]++
+
+	if in.streaks[streamKey] > 0 {
+		in.streaks[streamKey]--
+		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
+		in.mu.Unlock()
+		meter.Add("faults_injected", 1)
+		return fmt.Errorf("%w: injected %s %s/%s call %d (streak)", ErrTransient, op, bucket, key, call)
+	}
+	if r := in.prof.rateFor(op, bucket); r > 0 && roll(in.prof.Seed, streamKey, call, 0) < r {
+		if in.prof.StreakLen > 1 {
+			in.streaks[streamKey] = in.prof.StreakLen - 1
+		}
+		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
+		in.mu.Unlock()
+		meter.Add("faults_injected", 1)
+		return fmt.Errorf("%w: injected %s %s/%s call %d", ErrTransient, op, bucket, key, call)
+	}
+	var slow time.Duration
+	if in.prof.SlowdownRate > 0 && roll(in.prof.Seed, streamKey, call, 1) < in.prof.SlowdownRate {
+		slow = in.prof.Slowdown
+		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "slowdown"})
+	}
+	in.mu.Unlock()
+	if slow > 0 {
+		meter.Add("slowdowns_injected", 1)
+		ch.Charge(slow)
+	}
+	return nil
+}
+
+// InjectFaults installs a fault profile on the store, replacing any
+// previous one. The one-shot FailNext counter is independent and fires
+// first.
+func (s *Store) InjectFaults(p FaultProfile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = &injector{
+		prof:    p,
+		counts:  make(map[string]uint64),
+		streaks: make(map[string]int),
+	}
+}
+
+// ClearFaults removes any installed fault profile.
+func (s *Store) ClearFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = nil
+}
+
+// FaultLog returns every injected event so far, sorted into a
+// canonical order so two same-seed runs can be compared directly.
+func (s *Store) FaultLog() []FaultRecord {
+	s.mu.Lock()
+	in := s.inj
+	s.mu.Unlock()
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := make([]FaultRecord, len(in.log))
+	copy(out, in.log)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// fault runs the injection pipeline for one data-path call: the legacy
+// FailNext one-shot counter first, then the installed profile.
+func (s *Store) fault(op Op, bucket, key string, ch sim.Charger) error {
+	s.mu.Lock()
+	if s.failures > 0 {
+		s.failures--
+		s.mu.Unlock()
+		s.meter.Add("faults_injected", 1)
+		return fmt.Errorf("%w: injected %s %s/%s (FailNext)", ErrTransient, op, bucket, key)
+	}
+	in := s.inj
+	s.mu.Unlock()
+	if in == nil {
+		return nil
+	}
+	return in.decide(op, bucket, key, ch, s.meter)
+}

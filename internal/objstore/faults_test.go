@@ -1,0 +1,176 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chaosWorkload runs a fixed call pattern against a store and returns
+// the sorted fault log.
+func chaosWorkload(t *testing.T, st *Store, cred Credential) []FaultRecord {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("w/k%02d", i)
+		st.Put(cred, "b", key, []byte("payload"), "")
+		for j := 0; j < 4; j++ {
+			st.Get(cred, "b", key)
+		}
+		st.Head(cred, "b", key)
+	}
+	st.ListAll(cred, "b", "w/")
+	return st.FaultLog()
+}
+
+func TestFaultInjectionDeterministicAcrossRuns(t *testing.T) {
+	prof := FaultProfile{Seed: 42, Rate: 0.2, SlowdownRate: 0.1, Slowdown: 50 * time.Millisecond}
+	var logs [2][]FaultRecord
+	for run := 0; run < 2; run++ {
+		st, cred := newTestStore()
+		st.InjectFaults(prof)
+		logs[run] = chaosWorkload(t, st, cred)
+	}
+	if len(logs[0]) == 0 {
+		t.Fatal("profile injected nothing; workload too small or rate broken")
+	}
+	if len(logs[0]) != len(logs[1]) {
+		t.Fatalf("runs differ: %d vs %d events", len(logs[0]), len(logs[1]))
+	}
+	for i := range logs[0] {
+		if logs[0][i] != logs[1][i] {
+			t.Fatalf("event %d differs: %v vs %v", i, logs[0][i], logs[1][i])
+		}
+	}
+	// A different seed produces a different fault set.
+	st, cred := newTestStore()
+	prof.Seed = 43
+	st.InjectFaults(prof)
+	other := chaosWorkload(t, st, cred)
+	same := len(other) == len(logs[0])
+	if same {
+		for i := range other {
+			if other[i] != logs[0][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+func TestFaultInjectionPerOpRates(t *testing.T) {
+	st, cred := newTestStore()
+	st.Put(cred, "b", "k", []byte("v"), "")
+	st.InjectFaults(FaultProfile{Seed: 1, PerOp: map[Op]float64{OpGet: 1.0}})
+	if _, _, err := st.Get(cred, "b", "k"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("GET should always fault, got %v", err)
+	}
+	if _, err := st.Put(cred, "b", "k2", []byte("v"), ""); err != nil {
+		t.Fatalf("PUT should never fault, got %v", err)
+	}
+	if _, err := st.Head(cred, "b", "k"); err != nil {
+		t.Fatalf("HEAD should never fault, got %v", err)
+	}
+}
+
+func TestFaultInjectionPerBucketTargeting(t *testing.T) {
+	st, cred := newTestStore()
+	if err := st.CreateBucket(cred, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+	st.Put(cred, "b", "k", []byte("v"), "")
+	st.Put(cred, "flaky", "k", []byte("v"), "")
+	st.InjectFaults(FaultProfile{Seed: 1, PerBucket: map[string]float64{"flaky": 1.0}})
+	if _, _, err := st.Get(cred, "b", "k"); err != nil {
+		t.Fatalf("healthy bucket faulted: %v", err)
+	}
+	if _, _, err := st.Get(cred, "flaky", "k"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("targeted bucket should fault, got %v", err)
+	}
+}
+
+func TestFaultStreaksComeInRuns(t *testing.T) {
+	const streak = 4
+	st, cred := newTestStore()
+	st.Put(cred, "b", "k", []byte("v"), "")
+	st.InjectFaults(FaultProfile{Seed: 7, Rate: 0.05, StreakLen: streak})
+	const calls = 200
+	var faulted [calls]bool
+	n := 0
+	for i := 0; i < calls; i++ {
+		_, _, err := st.Get(cred, "b", "k")
+		faulted[i] = errors.Is(err, ErrTransient)
+		if faulted[i] {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no faults at 5% over 200 calls")
+	}
+	// Every maximal run of faults is at least StreakLen long unless it
+	// was truncated by the end of the call sequence.
+	for i := 0; i < calls; {
+		if !faulted[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < calls && faulted[j] {
+			j++
+		}
+		if j-i < streak && j != calls {
+			t.Fatalf("fault run [%d,%d) shorter than streak %d", i, j, streak)
+		}
+		i = j
+	}
+}
+
+func TestSlowdownChargesSimulatedTime(t *testing.T) {
+	const slow = 77 * time.Millisecond
+	baseSt, baseCred := newTestStore()
+	baseSt.Put(baseCred, "b", "k", []byte("v"), "")
+	t0 := baseSt.Clock().Now()
+	baseSt.Get(baseCred, "b", "k")
+	baseCost := baseSt.Clock().Now() - t0
+
+	st, cred := newTestStore()
+	st.Put(cred, "b", "k", []byte("v"), "")
+	st.InjectFaults(FaultProfile{Seed: 1, SlowdownRate: 1.0, Slowdown: slow})
+	t0 = st.Clock().Now()
+	if _, _, err := st.Get(cred, "b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	cost := st.Clock().Now() - t0
+	if cost != baseCost+slow {
+		t.Fatalf("slowdown GET cost %v, want %v + %v", cost, baseCost, slow)
+	}
+	if st.Meter().Get("slowdowns_injected") != 1 {
+		t.Fatal("slowdown not metered")
+	}
+	if len(st.FaultLog()) != 1 || st.FaultLog()[0].Kind != "slowdown" {
+		t.Fatalf("fault log = %v", st.FaultLog())
+	}
+}
+
+func TestFailNextFiresBeforeProfile(t *testing.T) {
+	st, cred := newTestStore()
+	st.Put(cred, "b", "k", []byte("v"), "")
+	st.InjectFaults(FaultProfile{Seed: 1}) // zero rates: profile never fires
+	st.FailNext(1)
+	if _, _, err := st.Get(cred, "b", "k"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("FailNext should fault, got %v", err)
+	}
+	if _, _, err := st.Get(cred, "b", "k"); err != nil {
+		t.Fatalf("one-shot counter should be spent, got %v", err)
+	}
+	if st.Meter().Get("faults_injected") != 1 {
+		t.Fatal("FailNext fault not metered")
+	}
+	st.ClearFaults()
+	if got := st.FaultLog(); got != nil {
+		t.Fatalf("cleared store should report no log, got %v", got)
+	}
+}

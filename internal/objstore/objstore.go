@@ -145,27 +145,17 @@ type Store struct {
 	urls     map[string]signedGrant
 	urlSeq   int64
 	failures int64
+	inj      *injector
 }
 
 // FailNext injects transient failures into the next n data-path
 // operations (GET/PUT/LIST/HEAD/DELETE), for failure-propagation
 // tests. Injection is consumed per operation, whichever kind arrives
-// first.
+// first. For probabilistic chaos profiles see InjectFaults.
 func (s *Store) FailNext(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failures = int64(n)
-}
-
-// maybeFail consumes one injected failure if armed.
-func (s *Store) maybeFail() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failures > 0 {
-		s.failures--
-		return ErrTransient
-	}
-	return nil
 }
 
 type signedGrant struct {
@@ -263,7 +253,7 @@ func (s *Store) PutIfGeneration(cred Credential, bucketName, key string, data []
 }
 
 func (s *Store) put(cred Credential, bucketName, key string, data []byte, contentType string, ifGeneration int64, custom map[string]string) (ObjectInfo, error) {
-	if err := s.maybeFail(); err != nil {
+	if err := s.fault(OpPut, bucketName, key, s.clock); err != nil {
 		return ObjectInfo{}, err
 	}
 	s.mu.Lock()
@@ -363,7 +353,7 @@ func (s *Store) GetRangeOn(ch sim.Charger, cred Credential, bucketName, key stri
 }
 
 func (s *Store) getRange(ch sim.Charger, cred Credential, bucketName, key string, offset, length int64) ([]byte, ObjectInfo, error) {
-	if err := s.maybeFail(); err != nil {
+	if err := s.fault(OpGet, bucketName, key, ch); err != nil {
 		return nil, ObjectInfo{}, err
 	}
 	s.mu.Lock()
@@ -410,7 +400,7 @@ func (s *Store) Head(cred Credential, bucketName, key string) (ObjectInfo, error
 
 // HeadOn is Head charged to ch.
 func (s *Store) HeadOn(ch sim.Charger, cred Credential, bucketName, key string) (ObjectInfo, error) {
-	if err := s.maybeFail(); err != nil {
+	if err := s.fault(OpHead, bucketName, key, ch); err != nil {
 		return ObjectInfo{}, err
 	}
 	s.mu.Lock()
@@ -439,7 +429,7 @@ func (s *Store) HeadOn(ch sim.Charger, cred Credential, bucketName, key string) 
 // Delete removes an object. Deleting a missing object is an error, as
 // on real stores.
 func (s *Store) Delete(cred Credential, bucketName, key string) error {
-	if err := s.maybeFail(); err != nil {
+	if err := s.fault(OpDelete, bucketName, key, s.clock); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -481,7 +471,7 @@ func (s *Store) List(cred Credential, bucketName, prefix, pageToken string) (Lis
 
 // ListOn is List charged to ch.
 func (s *Store) ListOn(ch sim.Charger, cred Credential, bucketName, prefix, pageToken string) (ListPage, error) {
-	if err := s.maybeFail(); err != nil {
+	if err := s.fault(OpList, bucketName, prefix, ch); err != nil {
 		return ListPage{}, err
 	}
 	s.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 )
 
@@ -33,6 +34,9 @@ type CCMV struct {
 	// holding their copies.
 	replicated map[string]string
 }
+
+// refreshRetryBudget bounds total retries within one CCMV refresh.
+const refreshRetryBudget = 64
 
 // RefreshReport summarizes one CCMV refresh.
 type RefreshReport struct {
@@ -136,10 +140,19 @@ func (d *Deployment) Refresh(mv *CCMV, incremental bool) (RefreshReport, error) 
 		current[f.Key] = f
 	}
 
+	// Per-refresh retry budget: cross-cloud copies are long-haul and the
+	// most fault-exposed path in the system, so every Get/Put/Delete
+	// retries under the deployment policy, bounded per refresh.
+	bud := resilience.NewBudget(d.Clock, refreshRetryBudget, resilience.Seed64(mv.Name))
+
 	var delta bigmeta.TableDelta
 	copyFile := func(f bigmeta.FileEntry) error {
-		data, _, err := srcRegion.Store.Get(srcCred, f.Bucket, f.Key)
-		if err != nil {
+		var data []byte
+		if err := d.Res.Do(d.Clock, bud, "GET "+f.Bucket+"/"+f.Key, func() error {
+			var ge error
+			data, _, ge = srcRegion.Store.Get(srcCred, f.Bucket, f.Key)
+			return ge
+		}); err != nil {
 			return err
 		}
 		// Cross-cloud transfer over the VPN (Colossus-bound file copy
@@ -148,8 +161,12 @@ func (d *Deployment) Refresh(mv *CCMV, incremental bool) (RefreshReport, error) 
 			return err
 		}
 		replicaKey := dst.Prefix + "data/" + sanitizeKey(f.Key)
-		info, err := dstRegion.Store.Put(dstCred, dst.Bucket, replicaKey, data, "application/x-blk")
-		if err != nil {
+		var info objstore.ObjectInfo
+		if err := d.Res.Do(d.Clock, bud, "PUT "+dst.Bucket+"/"+replicaKey, func() error {
+			var pe error
+			info, pe = dstRegion.Store.Put(dstCred, dst.Bucket, replicaKey, data, "application/x-blk")
+			return pe
+		}); err != nil {
 			return err
 		}
 		delta.Added = append(delta.Added, bigmeta.FileEntry{
@@ -179,7 +196,10 @@ func (d *Deployment) Refresh(mv *CCMV, incremental bool) (RefreshReport, error) 
 				continue
 			}
 			delta.Removed = append(delta.Removed, replicaKey)
-			if err := dstRegion.Store.Delete(dstCred, dst.Bucket, replicaKey); err != nil {
+			rk := replicaKey
+			if err := d.Res.Do(d.Clock, bud, "DELETE "+dst.Bucket+"/"+rk, func() error {
+				return dstRegion.Store.Delete(dstCred, dst.Bucket, rk)
+			}); err != nil {
 				return report, err
 			}
 			delete(mv.replicated, key)
@@ -189,7 +209,10 @@ func (d *Deployment) Refresh(mv *CCMV, incremental bool) (RefreshReport, error) 
 		// Full recreation: drop all replicas, recopy everything.
 		for key, replicaKey := range mv.replicated {
 			delta.Removed = append(delta.Removed, replicaKey)
-			if err := dstRegion.Store.Delete(dstCred, dst.Bucket, replicaKey); err != nil {
+			rk := replicaKey
+			if err := d.Res.Do(d.Clock, bud, "DELETE "+dst.Bucket+"/"+rk, func() error {
+				return dstRegion.Store.Delete(dstCred, dst.Bucket, rk)
+			}); err != nil {
 				return report, err
 			}
 			delete(mv.replicated, key)

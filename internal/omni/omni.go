@@ -31,6 +31,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/engine"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/storageapi"
@@ -128,6 +129,9 @@ type Deployment struct {
 	Auth    *security.Authority
 	VPN     *VPN
 	Meter   *sim.Meter
+	// Res is the retry policy for cross-cloud transfer operations
+	// (CCMV file copies/deletes). Nil behaves like resilience.NoRetry.
+	Res *resilience.Policy
 
 	// Primary is the control plane's home region (a GCP region).
 	Primary string
@@ -141,12 +145,16 @@ type Deployment struct {
 // regions yet.
 func NewDeployment(clock *sim.Clock, admins ...security.Principal) *Deployment {
 	admins = append(admins, ControlPrincipal)
+	meter := &sim.Meter{}
+	res := resilience.DefaultPolicy()
+	res.Meter = meter
 	return &Deployment{
 		Clock:   clock,
 		Catalog: catalog.New(),
 		Auth:    security.NewAuthority("omni-deployment-secret", admins...),
 		VPN:     NewVPN(clock, nil),
-		Meter:   &sim.Meter{},
+		Meter:   meter,
+		Res:     res,
 		regions: make(map[string]*Region),
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
 	"biglake/internal/objstore"
+	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
@@ -112,6 +113,9 @@ type session struct {
 	mu      sync.Mutex
 	agg     bool
 	aggDone bool
+	// budget is the session-lifetime retry allowance shared by every
+	// ReadRows call, seeded from the session ID for reproducibility.
+	budget *resilience.Budget
 }
 
 // openStreams instantiates fresh streams over the session plan and
@@ -144,6 +148,9 @@ type Server struct {
 	ManagedCred objstore.Credential
 	// SessionTTL bounds read-session reuse (simulated time).
 	SessionTTL time.Duration
+	// Res is the retry/hedging policy for object-store reads and
+	// write-path data-file puts. Nil behaves like resilience.NoRetry.
+	Res *resilience.Policy
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -161,15 +168,19 @@ type cachedSession struct {
 
 // NewServer assembles a Storage API server.
 func NewServer(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, log *bigmeta.Log, clock *sim.Clock, stores map[string]*objstore.Store) *Server {
+	meter := &sim.Meter{}
+	res := resilience.DefaultPolicy()
+	res.Meter = meter
 	return &Server{
 		Catalog:    cat,
 		Auth:       auth,
 		Meta:       meta,
 		Log:        log,
 		Clock:      clock,
-		Meter:      &sim.Meter{},
+		Meter:      meter,
 		Stores:     stores,
 		SessionTTL: 10 * time.Minute,
+		Res:        res,
 		sessions:   make(map[string]*session),
 		cache:      make(map[string]cachedSession),
 		writes:     make(map[string]*writeStream),
@@ -210,6 +221,10 @@ func sessionKey(req ReadSessionRequest) string {
 // DefaultStreams is the stream count when the caller does not specify
 // one.
 const DefaultStreams = 8
+
+// sessionRetryBudget bounds the total object-store retries one read
+// session may spend across all its streams.
+const sessionRetryBudget = 64
 
 // CreateReadSession plans a consistent point-in-time read and returns
 // stream handles (§2.2.1). Governance is resolved here: selecting a
@@ -328,6 +343,7 @@ func (s *Server) CreateReadSession(req ReadSessionRequest) (*ReadSession, error)
 	s.sessions[id] = sess
 	s.cache[key] = cachedSession{id: id, expires: s.Clock.Now() + s.SessionTTL}
 	s.mu.Unlock()
+	sess.budget = resilience.NewBudget(s.Clock, sessionRetryBudget, resilience.Seed64(id))
 	sess.openStreams(id)
 
 	// Server-side session creation cost.
@@ -403,12 +419,21 @@ func (s *Server) readRowsOn(ch sim.Charger, sessionID, streamName string) ([]byt
 		sess.mu.Unlock()
 		return nil, ErrEndOfStream
 	}
-	file := st.files[st.next]
+	idx := st.next
+	file := st.files[idx]
 	st.next++
 	sess.mu.Unlock()
 
 	batch, err := s.readGoverned(ch, sess, file)
 	if err != nil {
+		// Roll the cursor back so the stream resumes at the failed file:
+		// a client retrying the same ReadRows call after a transient
+		// fault re-reads this file rather than silently skipping it.
+		sess.mu.Lock()
+		if st.next == idx+1 {
+			st.next = idx
+		}
+		sess.mu.Unlock()
 		return nil, err
 	}
 	payload := vector.EncodeBatch(batch, sess.req.KeepEncodings)
@@ -424,8 +449,15 @@ func (s *Server) readGoverned(ch sim.Charger, sess *session, file bigmeta.FileEn
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := store.GetOn(ch, sess.cred, file.Bucket, file.Key)
-	if err != nil {
+	var data []byte
+	if err := s.Res.HedgedDo(ch, sess.budget, "GET "+file.Bucket+"/"+file.Key, func(hch sim.Charger) error {
+		d, _, ge := store.GetOn(hch, sess.cred, file.Bucket, file.Key)
+		if ge != nil {
+			return ge
+		}
+		data = d
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 

@@ -7,6 +7,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
+	"biglake/internal/objstore"
 	"biglake/internal/security"
 	"biglake/internal/vector"
 )
@@ -135,8 +136,12 @@ func (s *Server) flushStreamLocked(ws *writeStream) error {
 		return err
 	}
 	key := fmt.Sprintf("%sdata/%s-%d.blk", t.Prefix, sanitize(ws.id), s.Clock.Now()/time.Microsecond)
-	info, err := store.Put(cred, t.Bucket, key, file, "application/x-blk")
-	if err != nil {
+	var info objstore.ObjectInfo
+	if err := s.Res.Do(s.Clock, nil, "PUT "+t.Bucket+"/"+key, func() error {
+		var pe error
+		info, pe = store.Put(cred, t.Bucket, key, file, "application/x-blk")
+		return pe
+	}); err != nil {
 		return err
 	}
 	footer, err := colfmt.ReadFooter(file)
@@ -288,8 +293,12 @@ func (s *Server) BatchCommitStreams(streamIDs []string) error {
 			return err
 		}
 		key := fmt.Sprintf("%sdata/%s.blk", t.Prefix, sanitize(ws.id))
-		info, err := store.Put(cred, t.Bucket, key, file, "application/x-blk")
-		if err != nil {
+		var info objstore.ObjectInfo
+		if err := s.Res.Do(s.Clock, nil, "PUT "+t.Bucket+"/"+key, func() error {
+			var pe error
+			info, pe = store.Put(cred, t.Bucket, key, file, "application/x-blk")
+			return pe
+		}); err != nil {
 			return err
 		}
 		footer, err := colfmt.ReadFooter(file)
