@@ -1,9 +1,24 @@
 # Developer entry points. `make ci` is the full gate; the chaos soak
-# runs under the race detector because that is where fan-out bugs live.
+# runs under the race detector because that is where fan-out bugs live,
+# and the differential fuzz soak cross-checks the engine against the
+# row-at-a-time oracle across the full acceleration matrix.
+#
+# Replaying a fuzz divergence: every report prints its seed. Re-run
+# that exact world with
+#
+#	go test ./internal/oracle -run TestDifferential -seed=<n> -v
+#
+# (add -trials/-queries to match a longer soak). To watch the harness
+# catch a planted engine bug — a flipped pruning comparison — run
+#
+#	make fuzz-bug
+#
+# which builds with `-tags oraclebug` and must FAIL the differential
+# test while PASSING TestForcedBugCaught with a minimized report.
 
 GO ?= go
 
-.PHONY: all vet build test race chaos bench ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug bench ci
 
 all: build
 
@@ -23,7 +38,18 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/resilience/
 
+# The differential soak: ≥200 generated queries through every
+# {cache, DPP, prune granularity, faults} × {pre/post compaction}
+# cell, engine vs oracle, bit-identical or the build fails.
+fuzz:
+	$(GO) test -run 'TestDifferential|TestIcebergExportEquality' -v ./internal/oracle/
+
+# Demonstrate the harness catches a planted pruning bug (not in ci:
+# the tagged build is intentionally broken).
+fuzz-bug:
+	$(GO) test -tags oraclebug -run 'TestForcedBugCaught' -v ./internal/oracle/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: vet build test race chaos
+ci: vet build test race chaos fuzz

@@ -5,6 +5,10 @@
 //	benchlake e1        # Figure 4: TPC-DS speedup with metadata caching
 //	benchlake all       # the full evaluation
 //	benchlake -scale 2 e1
+//
+// The differential fuzzer is also exposed here for ad-hoc soaks:
+//
+//	benchlake -seed 7 -trials 4 -queries 100 fuzz
 package main
 
 import (
@@ -14,9 +18,15 @@ import (
 	"strings"
 
 	"biglake/internal/exp"
+	"biglake/internal/oracle"
 )
 
-var scale = flag.Int("scale", 1, "workload scale factor")
+var (
+	scale       = flag.Int("scale", 1, "workload scale factor")
+	fuzzSeed    = flag.Uint64("seed", 1, "fuzz: base RNG seed")
+	fuzzTrials  = flag.Int("trials", 2, "fuzz: generated worlds per run")
+	fuzzQueries = flag.Int("queries", 70, "fuzz: SELECTs per world per phase")
+)
 
 func main() {
 	flag.Parse()
@@ -40,7 +50,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] <experiment>...
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3 a4 all`)
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3 a4 all
+fuzzing:     benchlake [-seed N] [-trials N] [-queries N] fuzz`)
 }
 
 func header(title string) {
@@ -212,6 +223,27 @@ func run(id string) error {
 			fmt.Printf("%-6s %-10s %8d %10d %8.1f%% %8d %7d %8d\n",
 				fmt.Sprintf("%.0f%%", 100*r.FaultRate), r.Arm, r.Queries, r.Succeeded, 100*r.SuccessRate, r.Retries, r.Hedges, r.FaultsInjected)
 		}
+	case "fuzz":
+		header(fmt.Sprintf("FUZZ | differential oracle soak (seed=%d trials=%d queries=%d)",
+			*fuzzSeed, *fuzzTrials, *fuzzQueries))
+		rep, err := oracle.Run(oracle.Options{
+			Seed:    *fuzzSeed,
+			Trials:  *fuzzTrials,
+			Queries: *fuzzQueries,
+			Log: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trials=%d queries=%d executions=%d fault-errors-accepted=%d\n",
+			rep.Trials, rep.Queries, rep.Executions, rep.FaultErrors)
+		if rep.Divergence != nil {
+			fmt.Println(rep.Divergence.Format())
+			return fmt.Errorf("engine diverged from oracle")
+		}
+		fmt.Println("no divergences: engine matches oracle across the full configuration matrix")
 	default:
 		usage()
 		return fmt.Errorf("unknown experiment %q", id)

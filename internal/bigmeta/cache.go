@@ -345,7 +345,10 @@ func FileCanMatch(e FileEntry, preds []colfmt.Predicate, g PruneGranularity) boo
 			continue
 		}
 		if g == PruneFiles && e.ColumnStats != nil {
-			if st, ok := e.ColumnStats[p.Column]; ok && !p.StatsCanSatisfy(st) {
+			// statsCanSatisfy is a build-tag seam: the oraclebug tag
+			// swaps in a deliberately wrong comparison so the
+			// differential fuzzer can prove it catches pruning bugs.
+			if st, ok := e.ColumnStats[p.Column]; ok && !statsCanSatisfy(p, st) {
 				return false
 			}
 		}

@@ -1,0 +1,13 @@
+//go:build !oraclebug
+
+package bigmeta
+
+import "biglake/internal/colfmt"
+
+// statsCanSatisfy is the production pruning decision. The oraclebug
+// build tag (see prune_hook_bug.go) replaces it with a deliberately
+// broken version used to validate that the differential oracle in
+// internal/oracle detects pruning bugs with a minimized report.
+func statsCanSatisfy(p colfmt.Predicate, st colfmt.ColumnStats) bool {
+	return p.StatsCanSatisfy(st)
+}

@@ -174,6 +174,13 @@ func (e *Engine) recordDPPRanges(sel *sqlparse.SelectStmt, executed *sqlparse.Ta
 			default:
 				continue
 			}
+			// A LEFT JOIN preserves every row of its left side:
+			// unmatched rows must surface null-extended, so a key
+			// range learned elsewhere may only prune the joined
+			// (right) table — never the preserved side.
+			if j.Kind == sqlparse.LeftJoin && other.Table != j.Table.DisplayName() {
+				continue
+			}
 			i, err := resolveColumn(b.Schema, mine)
 			if err != nil {
 				continue

@@ -131,7 +131,9 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 				ctx.Stats.FilesPruned++
 				continue
 			}
-			if bigmeta.FileCanMatch(en, preds, bigmeta.PruneFiles) {
+			// Honor the configured granularity here too: the knob
+			// must mean the same thing with and without the cache.
+			if bigmeta.FileCanMatch(en, preds, e.Opts.PruneGranularity) {
 				files = append(files, en)
 			} else {
 				ctx.Stats.FilesPruned++
@@ -213,7 +215,7 @@ func (e *Engine) scanManagedTable(ctx *QueryContext, t catalog.Table, preds []co
 	}
 	kept := files[:0]
 	for _, f := range files {
-		if bigmeta.FileCanMatch(f, preds, bigmeta.PruneFiles) {
+		if bigmeta.FileCanMatch(f, preds, e.Opts.PruneGranularity) {
 			kept = append(kept, f)
 		} else {
 			ctx.Stats.FilesPruned++

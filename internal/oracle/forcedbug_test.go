@@ -1,0 +1,36 @@
+//go:build oraclebug
+
+package oracle
+
+// Validation that the differential harness actually catches engine
+// bugs: the oraclebug build tag plants a flipped pruning comparison
+// in bigmeta (<= treated as < against file stats), and this test
+// demands the fuzzer finds it and produces a minimized seed+SQL
+// report. Run with:
+//
+//	go test -tags oraclebug ./internal/oracle -run TestForcedBug -v
+//
+// The regular TestDifferential is expected to FAIL under this tag —
+// that is the point — so select tests with -run.
+
+import "testing"
+
+func TestForcedBugCaught(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rep, err := Run(Options{Seed: seed, Trials: 2, Queries: 40})
+		if err != nil {
+			t.Fatalf("seed %d: infrastructure error: %v", seed, err)
+		}
+		if d := rep.Divergence; d != nil {
+			if d.SQL == "" || d.MinSQL == "" || d.Detail == "" {
+				t.Fatalf("divergence found but report incomplete: %+v", d)
+			}
+			if len(d.MinSQL) > len(d.SQL) {
+				t.Fatalf("minimized SQL longer than original:\n%s\nvs\n%s", d.MinSQL, d.SQL)
+			}
+			t.Logf("caught planted pruning bug:\n%s", d.Format())
+			return
+		}
+	}
+	t.Fatal("planted pruning bug not detected in 8 seeds — the oracle harness is not sensitive enough")
+}

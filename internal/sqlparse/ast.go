@@ -147,7 +147,8 @@ func (Literal) expr() {}
 
 func (l Literal) String() string {
 	if l.Value.Type == vector.String {
-		return "'" + l.Value.S + "'"
+		// Re-escape embedded quotes so the render re-parses.
+		return "'" + strings.ReplaceAll(l.Value.S, "'", "''") + "'"
 	}
 	return l.Value.String()
 }

@@ -1,0 +1,92 @@
+package workload
+
+// Golden-answer fixtures for the TPC-H workload: the exact rows every
+// query returns at scale 1 are checked in, and any drift — however
+// plausible-looking — fails this test. The ratio-based benchmark
+// assertions cannot see a silently wrong answer; this can.
+//
+// Regenerate after an intentional semantic change with:
+//
+//	go test ./internal/workload -run TestTPCHGolden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biglake/internal/engine"
+	"biglake/internal/vector"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/tpch_golden.txt"
+
+// renderGolden gives results a stable, type-tagged textual form.
+func renderGolden(qid string, b *vector.Batch) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s\n", qid)
+	cols := make([]string, len(b.Schema.Fields))
+	for i, f := range b.Schema.Fields {
+		cols[i] = fmt.Sprintf("%s:%d", f.Name, f.Type)
+	}
+	fmt.Fprintf(&sb, "# %s\n", strings.Join(cols, " | "))
+	for r := 0; r < b.N; r++ {
+		row := b.Row(r)
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = v.String()
+			}
+		}
+		sb.WriteString(strings.Join(parts, " | ") + "\n")
+	}
+	return sb.String()
+}
+
+func TestTPCHGolden(t *testing.T) {
+	env, eng := newEnv(t)
+	if err := LoadTPCH(env, DefaultTPCH(1)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, q := range TPCHQueries("bench") {
+		res, err := eng.Query(engine.NewContext(adminP, q.ID), q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		sb.WriteString(renderGolden(q.ID, res.Batch))
+	}
+	got := sb.String()
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("TPC-H answer drift at %s:%d\n  got:  %s\n  want: %s", goldenPath, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("TPC-H answer drift: %d lines vs %d in %s", len(gl), len(wl), goldenPath)
+}
