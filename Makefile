@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug bench ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench ci
 
 all: build
 
@@ -49,7 +49,16 @@ fuzz:
 fuzz-bug:
 	$(GO) test -tags oraclebug -run 'TestForcedBugCaught' -v ./internal/oracle/
 
+# The crash-point sweep: kill the process at every labeled step of the
+# flush/batch-commit/compaction/Iceberg-export protocols, recover from
+# the journal, and diff against the oracle. Prints the seed and a
+# replay command on failure; re-run one world with
+#
+#	go test ./internal/oracle -run TestCrashSweep -seed=<n> -v
+crash:
+	$(GO) test -race -run 'TestCrashSweep' -v ./internal/oracle/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: vet build test race chaos fuzz
+ci: vet build test race chaos fuzz crash

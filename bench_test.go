@@ -253,3 +253,18 @@ func BenchmarkE13Availability(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE14Recovery: crash recovery — journal replay time (simulated
+// wall clock) and orphan-GC bytes at the 400-commit journal length
+// (DESIGN.md experiment E14).
+func BenchmarkE14Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE14(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.RecoverySimMS, "recovery_sim_ms")
+		b.ReportMetric(float64(last.GCBytes), "gc_bytes")
+	}
+}

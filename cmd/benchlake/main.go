@@ -37,7 +37,7 @@ func main() {
 	}
 	ids := args
 	if len(args) == 1 && strings.EqualFold(args[0], "all") {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2", "a3", "a4"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1", "a2", "a3", "a4"}
 	}
 	for _, id := range ids {
 		if err := run(strings.ToLower(id)); err != nil {
@@ -50,7 +50,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] <experiment>...
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3 a4 all
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 a1 a2 a3 a4 all
 fuzzing:     benchlake [-seed N] [-trials N] [-queries N] fuzz`)
 }
 
@@ -222,6 +222,18 @@ func run(id string) error {
 		for _, r := range res.Rows {
 			fmt.Printf("%-6s %-10s %8d %10d %8.1f%% %8d %7d %8d\n",
 				fmt.Sprintf("%.0f%%", 100*r.FaultRate), r.Arm, r.Queries, r.Succeeded, 100*r.SuccessRate, r.Retries, r.Hedges, r.FaultsInjected)
+		}
+	case "e14":
+		res, err := exp.RunE14(*scale)
+		if err != nil {
+			return err
+		}
+		header("E14 | crash recovery: journal replay time and orphan GC vs journal length")
+		fmt.Printf("%8s %8s %11s %9s %10s %9s %12s\n",
+			"commits", "orphans", "recover(ms)", "gc(ms)", "gc-bytes", "gc-files", "us/commit")
+		for _, r := range res.Rows {
+			fmt.Printf("%8d %8d %11.2f %9.2f %10d %9d %12.1f\n",
+				r.Commits, r.Orphans, r.RecoverySimMS, r.GCSimMS, r.GCBytes, r.GCDeleted, r.PerCommitUS)
 		}
 	case "fuzz":
 		header(fmt.Sprintf("FUZZ | differential oracle soak (seed=%d trials=%d queries=%d)",

@@ -2,9 +2,11 @@ package bigmeta
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"biglake/internal/crashpoint"
 	"biglake/internal/sim"
 )
 
@@ -30,6 +32,64 @@ type CommitRecord struct {
 	Deltas    map[string]TableDelta
 }
 
+// StreamState is the durable per-write-stream state a commit carries
+// into the journal: the offsets a crashed Write API client may resume
+// AppendRows from. In production BigQuery this state lives in the same
+// Spanner-backed small-state store as the log itself; here it rides
+// inside sealed commit records so recovery rebuilds both atomically.
+type StreamState struct {
+	Table     string `json:"table"`
+	Principal string `json:"principal"`
+	// Mode mirrors storageapi.WriteMode (0 committed, 1 pending,
+	// 2 buffered) without importing it.
+	Mode int `json:"mode"`
+	// Offset is the durable row offset: rows below it are committed
+	// (committed mode) or flushed (buffered mode). A recovered stream
+	// accepts AppendRows at exactly this offset.
+	Offset int64 `json:"offset"`
+	// FlushSeq numbers the stream's successful flushes, so recovered
+	// streams keep minting the same deterministic data-file keys.
+	FlushSeq  int64 `json:"flush_seq"`
+	Finalized bool  `json:"finalized"`
+	Committed bool  `json:"committed"`
+}
+
+// TxCommit is the journal-facing form of one sealed commit: everything
+// a recovery replay needs to reproduce the in-memory CommitRecord plus
+// the idempotency and stream bookkeeping around it.
+type TxCommit struct {
+	TxnID     string                 `json:"txn_id,omitempty"`
+	IntentSeq int64                  `json:"intent_seq,omitempty"`
+	Principal string                 `json:"principal"`
+	Version   int64                  `json:"version"`
+	Time      time.Duration          `json:"time"`
+	Deltas    map[string]TableDelta  `json:"deltas"`
+	Streams   map[string]StreamState `json:"streams,omitempty"`
+}
+
+// CommitSink is the durable write-ahead hook: when attached, every
+// commit is appended to the sink *before* it becomes visible in
+// memory, so a commit that was acknowledged is always recoverable and
+// a commit that never reached the sink never happened. internal/wal
+// implements this against the object store.
+type CommitSink interface {
+	AppendCommit(rec TxCommit) error
+}
+
+// TxOptions carries the transactional envelope of one commit.
+type TxOptions struct {
+	// TxnID is the client-supplied idempotency ID. A commit replayed
+	// with a TxnID the log has already applied is an exact no-op that
+	// returns the original version. Empty disables deduplication.
+	TxnID string
+	// IntentSeq links the sealed commit to the journal intent record
+	// that opened the transaction (0 = none).
+	IntentSeq int64
+	// Streams is durable Write API stream state sealed atomically with
+	// the commit.
+	Streams map[string]StreamState
+}
+
 // Log is the Big Metadata transaction log service. Writers never touch
 // the log representation directly — all mutations go through Commit,
 // which is what makes BLMT history tamper-proof with a reliable audit
@@ -48,9 +108,18 @@ type Log struct {
 	baselineVersion int64
 	baseline        map[string][]FileEntry
 
+	// sink, when attached, durably journals every commit before it is
+	// applied; applied maps idempotency IDs to the version that
+	// committed them.
+	sink    CommitSink
+	applied map[string]int64
+
 	// BaselineEvery triggers automatic compaction after this many tail
 	// commits (0 disables).
 	BaselineEvery int
+
+	// Crash marks the seal protocol's crash points (nil = none).
+	Crash *crashpoint.Injector
 }
 
 // NewLog returns an empty transaction log.
@@ -62,23 +131,62 @@ func NewLog(clock *sim.Clock, meter *sim.Meter) *Log {
 		clock:         clock,
 		meter:         meter,
 		baseline:      make(map[string][]FileEntry),
+		applied:       make(map[string]int64),
 		BaselineEvery: 64,
 	}
+}
+
+// AttachJournal installs the durable commit sink. Commits made after
+// attachment are write-ahead journaled; the sink must be in place
+// before any commit that needs to survive a crash.
+func (l *Log) AttachJournal(sink CommitSink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = sink
+}
+
+// AppliedTx reports whether the idempotency ID has already committed,
+// and at which version. Writers check this before re-executing a
+// transaction after a crash: a sealed transaction replays as a no-op.
+func (l *Log) AppliedTx(txnID string) (int64, bool) {
+	if txnID == "" {
+		return 0, false
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	v, ok := l.applied[txnID]
+	return v, ok
 }
 
 // Commit atomically applies deltas to every named table — a
 // multi-table transaction, the §3.5 feature open table formats lack —
 // and returns the new log version.
 func (l *Log) Commit(principal string, deltas map[string]TableDelta) (int64, error) {
+	return l.CommitTx(principal, TxOptions{}, deltas)
+}
+
+// CommitTx is Commit with a transactional envelope: an idempotency ID
+// (replays are exact no-ops returning the original version), an
+// optional journal intent link, and durable Write API stream state.
+// When a journal sink is attached the sealed commit record is written
+// durably *before* the in-memory log mutates — the write-ahead
+// ordering that makes an acknowledged commit survive any crash, and an
+// unsealed one vanish completely.
+func (l *Log) CommitTx(principal string, opts TxOptions, deltas map[string]TableDelta) (int64, error) {
 	if len(deltas) == 0 {
 		return 0, fmt.Errorf("bigmeta: empty commit")
 	}
 	l.clock.Advance(CommitLatency)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.version++
+	if opts.TxnID != "" {
+		if v, ok := l.applied[opts.TxnID]; ok {
+			l.meter.Add("meta_commit_replays", 1)
+			return v, nil
+		}
+	}
 	rec := CommitRecord{
-		Version:   l.version,
+		Version:   l.version + 1,
 		Time:      l.clock.Now(),
 		Principal: principal,
 		Deltas:    make(map[string]TableDelta, len(deltas)),
@@ -91,13 +199,78 @@ func (l *Log) Commit(principal string, deltas map[string]TableDelta) (int64, err
 		}
 		rec.Deltas[table] = cp
 	}
+	sort.Strings(rec.Tables)
+	if l.sink != nil {
+		// Seal the commit durably before it exists in memory. A crash
+		// on either side of this write is binary: before it the
+		// transaction never happened; after it recovery rolls the
+		// commit forward even though no caller was acknowledged.
+		l.Crash.At("journal.before_seal")
+		if err := l.sink.AppendCommit(TxCommit{
+			TxnID:     opts.TxnID,
+			IntentSeq: opts.IntentSeq,
+			Principal: principal,
+			Version:   rec.Version,
+			Time:      rec.Time,
+			Deltas:    rec.Deltas,
+			Streams:   opts.Streams,
+		}); err != nil {
+			return 0, fmt.Errorf("bigmeta: journal seal: %w", err)
+		}
+		l.Crash.At("journal.after_seal")
+	}
+	l.version = rec.Version
 	l.tail = append(l.tail, rec)
 	l.history = append(l.history, rec)
+	if opts.TxnID != "" {
+		l.applied[opts.TxnID] = rec.Version
+	}
 	l.meter.Add("meta_commits", 1)
 	if l.BaselineEvery > 0 && len(l.tail) >= l.BaselineEvery {
 		l.compactLocked()
 	}
 	return l.version, nil
+}
+
+// Restore replays journal-recovered commits into an empty log,
+// preserving version numbers, commit times, principals, and
+// idempotency IDs. It is the recovery path's inverse of the sink:
+// Restore(sealed records) reproduces exactly the state whose commits
+// sealed those records. Commits must arrive in version order with no
+// gaps from version+1.
+func (l *Log) Restore(commits []TxCommit) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.history) > 0 {
+		return fmt.Errorf("bigmeta: Restore on a non-empty log")
+	}
+	for _, c := range commits {
+		if c.Version != l.version+1 {
+			return fmt.Errorf("bigmeta: restore gap: have version %d, next record %d", l.version, c.Version)
+		}
+		rec := CommitRecord{
+			Version:   c.Version,
+			Time:      c.Time,
+			Principal: c.Principal,
+			Deltas:    make(map[string]TableDelta, len(c.Deltas)),
+		}
+		for table, d := range c.Deltas {
+			rec.Tables = append(rec.Tables, table)
+			rec.Deltas[table] = TableDelta{
+				Added:   append([]FileEntry(nil), d.Added...),
+				Removed: append([]string(nil), d.Removed...),
+			}
+		}
+		sort.Strings(rec.Tables)
+		l.version = c.Version
+		l.tail = append(l.tail, rec)
+		l.history = append(l.history, rec)
+		if c.TxnID != "" {
+			l.applied[c.TxnID] = c.Version
+		}
+	}
+	l.meter.Add("meta_commits_restored", int64(len(commits)))
+	return nil
 }
 
 // Version returns the latest committed version.

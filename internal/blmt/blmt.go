@@ -17,6 +17,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
+	"biglake/internal/crashpoint"
 	"biglake/internal/engine"
 	"biglake/internal/iceberg"
 	"biglake/internal/objstore"
@@ -24,6 +25,7 @@ import (
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
+	"biglake/internal/wal"
 )
 
 // ErrNotManaged reports DML against a non-managed table.
@@ -58,7 +60,58 @@ type Manager struct {
 	// Meter records the manager's retry/fault counters.
 	Meter *sim.Meter
 
+	// Journal, when set, opens a durable intent before every DML /
+	// compaction transaction's data-file PUTs, so a crash mid-protocol
+	// leaves reclaimable debris instead of invisible orphans. The same
+	// journal must be attached to Log as its commit sink.
+	Journal *wal.Journal
+	// Crash marks the DML/compaction/export crash points (nil = none).
+	Crash *crashpoint.Injector
+
 	seq int64
+}
+
+// dmlTxn derives the idempotency ID for one DML operation of one
+// query. The envelope only exists under a durable journal — without
+// one there is nothing for a recovered process to replay against, and
+// treating a reused query ID as a replay would surprise callers that
+// never opted into journaling. Queries without an ID likewise get no
+// envelope (and no crash-exactly-once guarantee); their commits are
+// still journaled.
+func (m *Manager) dmlTxn(queryID, op, table string) string {
+	if m.Journal == nil || queryID == "" {
+		return ""
+	}
+	return fmt.Sprintf("q-%s-%s-%s", queryID, op, table)
+}
+
+// sanitizeTxn makes a txn ID usable inside an object key.
+func sanitizeTxn(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == '/' || c == ':' {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// txDataKey is the deterministic key of the idx-th data file a
+// transaction writes. Retried transactions re-mint identical keys and
+// overwrite their crashed predecessor's files instead of stranding
+// them; keys never derive from in-memory counters, which reset across
+// recovery.
+func txDataKey(t catalog.Table, txnID string, idx int) string {
+	return fmt.Sprintf("%sdata/%s-%06d.blk", t.Prefix, sanitizeTxn(txnID), idx)
+}
+
+// intent durably declares a transaction's data-file keys before any
+// PUT. No-op without a journal or txn ID.
+func (m *Manager) intent(txnID, principal string, keys []string) (int64, error) {
+	if m.Journal == nil || txnID == "" {
+		return 0, nil
+	}
+	return m.Journal.AppendIntent(txnID, principal, keys)
 }
 
 var _ engine.Mutator = (*Manager)(nil)
@@ -110,12 +163,20 @@ func (m *Manager) managedTable(name string) (catalog.Table, *objstore.Store, obj
 // metadata entry. The PUT retries under the manager's policy against
 // bud (nil = no per-query budget).
 func (m *Manager) writeDataFile(t catalog.Table, store *objstore.Store, cred objstore.Credential, bud *resilience.Budget, rows *vector.Batch, tag string) (bigmeta.FileEntry, error) {
+	m.seq++
+	key := fmt.Sprintf("%sdata/%s-%06d.blk", t.Prefix, tag, m.seq)
+	return m.writeDataFileAt(t, store, cred, bud, rows, key)
+}
+
+// writeDataFileAt is writeDataFile with an explicit (deterministic)
+// key — the crash-consistent path, bracketed by blmt.before_put /
+// blmt.after_put crash points.
+func (m *Manager) writeDataFileAt(t catalog.Table, store *objstore.Store, cred objstore.Credential, bud *resilience.Budget, rows *vector.Batch, key string) (bigmeta.FileEntry, error) {
 	file, err := colfmt.WriteFile(rows, colfmt.WriterOptions{})
 	if err != nil {
 		return bigmeta.FileEntry{}, err
 	}
-	m.seq++
-	key := fmt.Sprintf("%sdata/%s-%06d.blk", t.Prefix, tag, m.seq)
+	m.Crash.At("blmt.before_put")
 	var info objstore.ObjectInfo
 	if err := m.Res.Do(m.Clock, bud, "PUT "+t.Bucket+"/"+key, func() error {
 		var pe error
@@ -124,6 +185,7 @@ func (m *Manager) writeDataFile(t catalog.Table, store *objstore.Store, cred obj
 	}); err != nil {
 		return bigmeta.FileEntry{}, err
 	}
+	m.Crash.At("blmt.after_put")
 	footer, err := colfmt.ReadFooter(file)
 	if err != nil {
 		return bigmeta.FileEntry{}, err
@@ -140,11 +202,16 @@ func (m *Manager) writeDataFile(t catalog.Table, store *objstore.Store, cred obj
 	}, nil
 }
 
-func (m *Manager) commit(principal string, table string, delta bigmeta.TableDelta, t catalog.Table) error {
-	if _, err := m.Log.Commit(principal, map[string]bigmeta.TableDelta{table: delta}); err != nil {
+func (m *Manager) commit(principal string, table string, tx bigmeta.TxOptions, delta bigmeta.TableDelta, t catalog.Table) error {
+	if _, err := m.Log.CommitTx(principal, tx, map[string]bigmeta.TableDelta{table: delta}); err != nil {
 		return err
 	}
+	m.Crash.At("blmt.after_commit")
 	if m.AutoIceberg && t.Type == catalog.Managed {
+		// The export publishes *after* the sealed log commit, so the
+		// version hint only ever points at sealed versions; a crash
+		// anywhere in here leaves a stale hint that the recovery
+		// re-export converges.
 		if _, err := m.ExportIceberg(table); err != nil {
 			return fmt.Errorf("blmt: auto iceberg export: %w", err)
 		}
@@ -152,11 +219,18 @@ func (m *Manager) commit(principal string, table string, delta bigmeta.TableDelt
 	return nil
 }
 
-// Insert appends rows to a managed table (engine.Mutator).
+// Insert appends rows to a managed table (engine.Mutator). The
+// protocol is crash-consistent: durable intent → data PUT at a
+// txn-derived key → sealed commit; a replay of an already-sealed
+// insert (same query ID) is an exact no-op.
 func (m *Manager) Insert(ctx *engine.QueryContext, table string, rows *vector.Batch) error {
 	t, store, cred, err := m.managedTable(table)
 	if err != nil {
 		return err
+	}
+	txnID := m.dmlTxn(ctx.QueryID, "ins", table)
+	if _, done := m.Log.AppliedTx(txnID); done {
+		return nil
 	}
 	// Align inserted columns with the declared schema (missing
 	// columns become NULL).
@@ -164,11 +238,23 @@ func (m *Manager) Insert(ctx *engine.QueryContext, table string, rows *vector.Ba
 	if err != nil {
 		return err
 	}
-	entry, err := m.writeDataFile(t, store, cred, ctx.Budget, aligned, "insert")
+	var entry bigmeta.FileEntry
+	var intentSeq int64
+	if txnID != "" {
+		key := txDataKey(t, txnID, 0)
+		if intentSeq, err = m.intent(txnID, string(ctx.Principal), []string{key}); err != nil {
+			return err
+		}
+		entry, err = m.writeDataFileAt(t, store, cred, ctx.Budget, aligned, key)
+	} else {
+		entry, err = m.writeDataFile(t, store, cred, ctx.Budget, aligned, "insert")
+	}
 	if err != nil {
 		return err
 	}
-	return m.commit(string(ctx.Principal), table, bigmeta.TableDelta{Added: []bigmeta.FileEntry{entry}}, t)
+	return m.commit(string(ctx.Principal), table,
+		bigmeta.TxOptions{TxnID: txnID, IntentSeq: intentSeq},
+		bigmeta.TableDelta{Added: []bigmeta.FileEntry{entry}}, t)
 }
 
 func alignToSchema(rows *vector.Batch, schema vector.Schema) (*vector.Batch, error) {
@@ -213,11 +299,20 @@ func (m *Manager) rewrite(ctx *engine.QueryContext, table, tag string, transform
 	if err != nil {
 		return 0, err
 	}
+	txnID := m.dmlTxn(ctx.QueryID, tag, table)
+	if _, done := m.Log.AppliedTx(txnID); done {
+		// A crashed predecessor sealed this DML; re-running the (often
+		// non-idempotent) transform would double-apply it.
+		return 0, nil
+	}
 	files, _, err := m.Log.Snapshot(table, -1)
 	if err != nil {
 		return 0, err
 	}
+	// Phase 1 — read and transform everything before writing anything,
+	// so the full set of output keys is known for the journal intent.
 	var delta bigmeta.TableDelta
+	var outs []*vector.Batch
 	var affected int64
 	for _, f := range files {
 		var data []byte
@@ -249,17 +344,39 @@ func (m *Manager) rewrite(ctx *engine.QueryContext, table, tag string, transform
 		}
 		delta.Removed = append(delta.Removed, f.Key)
 		if out != nil && out.N > 0 {
-			entry, err := m.writeDataFile(t, store, cred, ctx.Budget, out, tag)
-			if err != nil {
-				return 0, err
-			}
-			delta.Added = append(delta.Added, entry)
+			outs = append(outs, out)
 		}
 	}
-	if len(delta.Removed) == 0 && len(delta.Added) == 0 {
+	if len(delta.Removed) == 0 && len(outs) == 0 {
 		return 0, nil
 	}
-	if err := m.commit(string(ctx.Principal), table, delta, t); err != nil {
+	// Phase 2 — declare every output key durably, then PUT at those
+	// deterministic keys (a retry overwrites its crashed predecessor).
+	var keys []string
+	if txnID != "" {
+		for i := range outs {
+			keys = append(keys, txDataKey(t, txnID, i))
+		}
+	}
+	intentSeq, err := m.intent(txnID, string(ctx.Principal), keys)
+	if err != nil {
+		return 0, err
+	}
+	for i, out := range outs {
+		var entry bigmeta.FileEntry
+		if txnID != "" {
+			entry, err = m.writeDataFileAt(t, store, cred, ctx.Budget, out, keys[i])
+		} else {
+			entry, err = m.writeDataFile(t, store, cred, ctx.Budget, out, tag)
+		}
+		if err != nil {
+			return 0, err
+		}
+		delta.Added = append(delta.Added, entry)
+	}
+	// Phase 3 — one sealed commit swaps old files for new atomically.
+	if err := m.commit(string(ctx.Principal), table,
+		bigmeta.TxOptions{TxnID: txnID, IntentSeq: intentSeq}, delta, t); err != nil {
 		return 0, err
 	}
 	return affected, nil
@@ -342,7 +459,9 @@ func (m *Manager) CreateTableAs(ctx *engine.QueryContext, table string, orReplac
 			for i, f := range old {
 				removed[i] = f.Key
 			}
-			if _, err := m.Log.Commit(string(ctx.Principal), map[string]bigmeta.TableDelta{table: {Removed: removed}}); err != nil {
+			if _, err := m.Log.CommitTx(string(ctx.Principal),
+				bigmeta.TxOptions{TxnID: m.dmlTxn(ctx.QueryID, "retire", table)},
+				map[string]bigmeta.TableDelta{table: {Removed: removed}}); err != nil {
 				return err
 			}
 		}
@@ -388,9 +507,17 @@ func (m *Manager) Optimize(principal, table, clusterBy string) (OptimizeReport, 
 	if err != nil {
 		return OptimizeReport{}, err
 	}
-	files, _, err := m.Log.Snapshot(table, -1)
+	files, version, err := m.Log.Snapshot(table, -1)
 	if err != nil {
 		return OptimizeReport{}, err
+	}
+	// The idempotency ID binds this pass to the version it read: a
+	// crashed-then-retried pass either replays as a no-op (seal was
+	// durable) or re-runs cleanly against the same input set.
+	txnID := fmt.Sprintf("optimize:%s:v%d", table, version)
+	if _, done := m.Log.AppliedTx(txnID); done {
+		after, _, _ := m.Log.Snapshot(table, -1)
+		return OptimizeReport{FilesBefore: len(files), FilesAfter: len(after)}, nil
 	}
 	var small []bigmeta.FileEntry
 	for _, f := range files {
@@ -453,6 +580,17 @@ func (m *Manager) Optimize(principal, table, clusterBy string) (OptimizeReport, 
 	if rowsPerFile < 1 {
 		rowsPerFile = combined.N
 	}
+	// Chunk count is known before any PUT, so every output key can be
+	// declared in the journal intent up front.
+	nChunks := (combined.N + rowsPerFile - 1) / rowsPerFile
+	keys := make([]string, nChunks)
+	for i := range keys {
+		keys[i] = txDataKey(t, txnID, i)
+	}
+	intentSeq, err := m.intent(txnID, principal, keys)
+	if err != nil {
+		return OptimizeReport{}, err
+	}
 	for start := 0; start < combined.N; start += rowsPerFile {
 		end := start + rowsPerFile
 		if end > combined.N {
@@ -470,13 +608,14 @@ func (m *Manager) Optimize(principal, table, clusterBy string) (OptimizeReport, 
 		if err != nil {
 			return OptimizeReport{}, err
 		}
-		entry, err := m.writeDataFile(t, store, cred, nil, chunk, "optimize")
+		entry, err := m.writeDataFileAt(t, store, cred, nil, chunk, keys[start/rowsPerFile])
 		if err != nil {
 			return OptimizeReport{}, err
 		}
 		delta.Added = append(delta.Added, entry)
 	}
-	if err := m.commit(principal, table, delta, t); err != nil {
+	if err := m.commit(principal, table,
+		bigmeta.TxOptions{TxnID: txnID, IntentSeq: intentSeq}, delta, t); err != nil {
 		return OptimizeReport{}, err
 	}
 	after, _, _ := m.Log.Snapshot(table, -1)
@@ -573,5 +712,5 @@ func (m *Manager) ExportIceberg(table string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return iceberg.Export(m.Res, store, cred, t.Bucket, t.Prefix, table, t.Schema, files, version)
+	return iceberg.ExportWithCrash(m.Crash, m.Res, store, cred, t.Bucket, t.Prefix, table, t.Schema, files, version)
 }

@@ -1,0 +1,95 @@
+package crashpoint
+
+import "testing"
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	in.At("anything") // must not panic
+}
+
+func TestArmFiresAtExactHit(t *testing.T) {
+	in := New()
+	in.Arm("step.b", 1)
+	ran := 0
+	sig, err := Run(func() error {
+		in.At("step.a")
+		ran++
+		in.At("step.b") // hit 0: survives
+		ran++
+		in.At("step.b") // hit 1: dies here
+		ran++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if sig == nil || sig.Label != "step.b" || sig.Hit != 1 {
+		t.Fatalf("sig = %v", sig)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d steps past the crash", ran)
+	}
+	if f := in.Fired(); f == nil || *f != *sig {
+		t.Fatalf("Fired = %v", f)
+	}
+	// Disarmed after firing: the retry survives the same step.
+	if sig, _ := Run(func() error { in.At("step.b"); return nil }); sig != nil {
+		t.Fatalf("re-crashed after auto-disarm: %v", sig)
+	}
+}
+
+func TestRecordingEnumeratesHits(t *testing.T) {
+	in := New()
+	if sig, err := Run(func() error {
+		in.At("x")
+		in.At("y")
+		in.At("x")
+		return nil
+	}); sig != nil || err != nil {
+		t.Fatalf("sig=%v err=%v", sig, err)
+	}
+	hits := in.Hits()
+	want := []Hit{{"x", 0}, {"y", 0}, {"x", 1}}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hit %d = %v, want %v", i, hits[i], want[i])
+		}
+	}
+}
+
+func TestChaosIsDeterministic(t *testing.T) {
+	fire := func(seed uint64) *Signal {
+		in := New()
+		in.Chaos(seed, 0.3)
+		sig, _ := Run(func() error {
+			for i := 0; i < 50; i++ {
+				in.At("loop.step")
+			}
+			return nil
+		})
+		return sig
+	}
+	a, b := fire(7), fire(7)
+	if (a == nil) != (b == nil) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	if a != nil && *a != *b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRunPassesThroughErrorsAndForeignPanics(t *testing.T) {
+	sentinel := &struct{ s string }{"boom"}
+	defer func() {
+		if r := recover(); r != sentinel {
+			t.Fatalf("foreign panic swallowed: %v", r)
+		}
+	}()
+	if sig, err := Run(func() error { return nil }); sig != nil || err != nil {
+		t.Fatalf("clean run: sig=%v err=%v", sig, err)
+	}
+	Run(func() error { panic(sentinel) })
+}

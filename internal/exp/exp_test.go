@@ -279,3 +279,33 @@ func TestE13AvailabilityShape(t *testing.T) {
 		t.Fatalf("resilient arm saw no chaos: retries=%d faults=%d", r3.Retries, r3.FaultsInjected)
 	}
 }
+
+func TestE14RecoveryShape(t *testing.T) {
+	res, err := RunE14(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if r.RecoverySimMS <= 0 || r.GCSimMS <= 0 {
+			t.Fatalf("row %d: non-positive recovery/GC time: %+v", i, r)
+		}
+		if r.GCDeleted != r.Orphans || r.GCBytes == 0 {
+			t.Fatalf("row %d: GC mismatch: deleted=%d orphans=%d bytes=%d", i, r.GCDeleted, r.Orphans, r.GCBytes)
+		}
+		if i > 0 {
+			prev := res.Rows[i-1]
+			// The replay cost must grow with journal length, and the
+			// reclaimed debris with the orphan count.
+			if r.RecoverySimMS <= prev.RecoverySimMS {
+				t.Fatalf("recovery time not monotone: %.2fms (n=%d) vs %.2fms (n=%d)",
+					r.RecoverySimMS, r.Commits, prev.RecoverySimMS, prev.Commits)
+			}
+			if r.GCBytes <= prev.GCBytes {
+				t.Fatalf("GC bytes not monotone: %d vs %d", r.GCBytes, prev.GCBytes)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"biglake/internal/bigmeta"
+	"biglake/internal/crashpoint"
 	"biglake/internal/objstore"
 	"biglake/internal/resilience"
 	"biglake/internal/vector"
@@ -119,6 +120,16 @@ func icebergType(t vector.Type) string {
 // contention between exporters surfaces as a clean ordered outcome
 // rather than a fatal ErrPreconditionFail.
 func Export(res *resilience.Policy, store *objstore.Store, cred objstore.Credential, bucket, prefix, tableName string, schema vector.Schema, files []bigmeta.FileEntry, snapshotID int64) (string, error) {
+	return ExportWithCrash(nil, res, store, cred, bucket, prefix, tableName, schema, files, snapshotID)
+}
+
+// ExportWithCrash is Export with crash points marking each step of the
+// export protocol. Export is idempotent and runs *after* the sealed
+// log commit, so a crash at any of these points leaves at worst
+// partially-written (key-versioned, never-referenced) metadata objects
+// and a stale version hint — the next export of the same version
+// overwrites them and converges the hint.
+func ExportWithCrash(crash *crashpoint.Injector, res *resilience.Policy, store *objstore.Store, cred objstore.Credential, bucket, prefix, tableName string, schema vector.Schema, files []bigmeta.FileEntry, snapshotID int64) (string, error) {
 	now := int64(store.Clock().Now() / time.Millisecond)
 
 	manifest := Manifest{}
@@ -150,12 +161,14 @@ func Export(res *resilience.Policy, store *objstore.Store, cred objstore.Credent
 	if err != nil {
 		return "", err
 	}
+	crash.At("iceberg.before_manifest")
 	if err := res.Do(store.Clock(), nil, "PUT "+bucket+"/"+manifestKey, func() error {
 		_, e := store.Put(cred, bucket, manifestKey, manifestJSON, "application/json")
 		return e
 	}); err != nil {
 		return "", err
 	}
+	crash.At("iceberg.after_manifest")
 
 	listKey := fmt.Sprintf("%smetadata/snap-%d-manifest-list.json", prefix, snapshotID)
 	listJSON, err := json.Marshal(ManifestList{Entries: []ManifestEntry{{
@@ -201,6 +214,7 @@ func Export(res *resilience.Policy, store *objstore.Store, cred objstore.Credent
 	}); err != nil {
 		return "", err
 	}
+	crash.At("iceberg.after_metadata")
 	// version-hint lets engines discover the latest metadata file. It is
 	// the one object concurrent exporters overwrite, so it commits via
 	// compare-and-swap on the observed generation; on conflict the loop
@@ -230,6 +244,7 @@ func Export(res *resilience.Policy, store *objstore.Store, cred objstore.Credent
 	}, loadGen); err != nil {
 		return "", err
 	}
+	crash.At("iceberg.after_hint")
 	return metaKey, nil
 }
 

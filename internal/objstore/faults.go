@@ -3,6 +3,7 @@ package objstore
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -226,6 +227,12 @@ func (s *Store) fault(op Op, bucket, key string, ch sim.Charger) error {
 		s.mu.Unlock()
 		s.meter.Add("faults_injected", 1)
 		return fmt.Errorf("%w: injected %s %s/%s (FailNext)", ErrTransient, op, bucket, key)
+	}
+	if s.failMatchN > 0 && strings.Contains(key, s.failMatch) {
+		s.failMatchN--
+		s.mu.Unlock()
+		s.meter.Add("faults_injected", 1)
+		return fmt.Errorf("%w: injected %s %s/%s (FailNextMatching %q)", ErrTransient, op, bucket, key, s.failMatch)
 	}
 	in := s.inj
 	s.mu.Unlock()

@@ -140,12 +140,14 @@ type Store struct {
 	clock   *sim.Clock
 	meter   *sim.Meter
 
-	mu       sync.Mutex
-	buckets  map[string]*bucket
-	urls     map[string]signedGrant
-	urlSeq   int64
-	failures int64
-	inj      *injector
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	urls      map[string]signedGrant
+	urlSeq    int64
+	failures  int64
+	failMatch string
+	failMatchN int64
+	inj       *injector
 }
 
 // FailNext injects transient failures into the next n data-path
@@ -156,6 +158,17 @@ func (s *Store) FailNext(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failures = int64(n)
+}
+
+// FailNextMatching injects transient failures into the next n
+// data-path operations whose key contains substr, letting tests target
+// one protocol step (e.g. the journal seal PUT) while the surrounding
+// traffic proceeds. Independent of FailNext and InjectFaults.
+func (s *Store) FailNextMatching(substr string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failMatch = substr
+	s.failMatchN = int64(n)
 }
 
 type signedGrant struct {

@@ -22,11 +22,13 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
+	"biglake/internal/crashpoint"
 	"biglake/internal/objstore"
 	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
+	"biglake/internal/wal"
 )
 
 // Errors returned by the storage APIs.
@@ -151,6 +153,13 @@ type Server struct {
 	// Res is the retry/hedging policy for object-store reads and
 	// write-path data-file puts. Nil behaves like resilience.NoRetry.
 	Res *resilience.Policy
+	// Journal, when set, opens a durable intent for every write-path
+	// transaction before data-file PUTs, so crashes between PUT and
+	// commit leave reclaimable (not invisible) debris. The same journal
+	// must be attached to Log as its commit sink.
+	Journal *wal.Journal
+	// Crash marks the write protocols' labeled crash points (nil = none).
+	Crash *crashpoint.Injector
 
 	mu       sync.Mutex
 	sessions map[string]*session

@@ -2,7 +2,6 @@ package storageapi
 
 import (
 	"fmt"
-	"time"
 
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
@@ -51,8 +50,26 @@ type writeStream struct {
 	offset    int64
 	// flushed is the row offset already made visible (BufferedMode).
 	flushed   int64
+	// flushSeq numbers this stream's successful flushes; data-file keys
+	// derive from it, so a retried flush overwrites its own earlier
+	// attempt instead of stranding it.
+	flushSeq  int64
 	finalized bool
 	committed bool
+}
+
+// state snapshots the stream's durable fields for sealing inside a
+// commit record; atOffset is the row offset the commit makes durable.
+func (ws *writeStream) state(atOffset int64) bigmeta.StreamState {
+	return bigmeta.StreamState{
+		Table:     ws.table,
+		Principal: ws.principal,
+		Mode:      int(ws.mode),
+		Offset:    atOffset,
+		FlushSeq:  ws.flushSeq,
+		Finalized: ws.finalized,
+		Committed: ws.committed,
+	}
 }
 
 // CreateWriteStream opens a write stream against a managed table.
@@ -73,6 +90,35 @@ func (s *Server) CreateWriteStream(principal, table string, mode WriteMode) (str
 	id := fmt.Sprintf("writeStreams/%d", s.wseq)
 	s.writes[id] = &writeStream{id: id, table: table, mode: mode, principal: principal}
 	return id, nil
+}
+
+// RestoreStreams reinstalls durable write-stream state after a crash.
+// Each restored stream resumes at exactly its last sealed offset:
+// buffered-but-unflushed rows died with the process, so clients
+// re-append from Offset; appends the crashed process already sealed
+// answer ErrOffsetExists, which exactly-once clients treat as success.
+func (s *Server) RestoreStreams(states map[string]bigmeta.StreamState) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	for id, st := range states {
+		s.writes[id] = &writeStream{
+			id:        id,
+			table:     st.Table,
+			mode:      WriteMode(st.Mode),
+			principal: st.Principal,
+			offset:    st.Offset,
+			flushed:   st.Offset,
+			flushSeq:  st.FlushSeq,
+			finalized: st.Finalized,
+			committed: st.Committed,
+		}
+		// Keep the ID allocator ahead of every restored stream so new
+		// streams cannot collide with recovered ones.
+		var n int
+		if _, err := fmt.Sscanf(id, "writeStreams/%d", &n); err == nil && n > s.wseq {
+			s.wseq = n
+		}
+	}
 }
 
 // AppendRows appends a batch at the given offset. Offsets provide
@@ -97,6 +143,7 @@ func (s *Server) AppendRows(streamID string, offset int64, rows *vector.Batch) (
 			return ws.offset, fmt.Errorf("%w: offset %d beyond next %d", ErrBadOffset, offset, ws.offset)
 		}
 	}
+	savedRows, savedOffset := ws.rows, ws.offset
 	merged, err := vector.AppendBatch(ws.rows, rows)
 	if err != nil {
 		return ws.offset, err
@@ -106,7 +153,13 @@ func (s *Server) AppendRows(streamID string, offset int64, rows *vector.Batch) (
 	s.Meter.Add("appended_rows", int64(rows.N))
 
 	if ws.mode == CommittedMode {
-		if err := s.flushStreamLocked(ws); err != nil {
+		if err := s.flushStreamLocked(ws, ws.offset); err != nil {
+			// Roll the append back entirely: a committed-mode append is
+			// acked only once its rows are committed, so a failed flush
+			// must leave the stream where the client left it — the retry
+			// re-sends the same offset and succeeds rather than colliding
+			// with ErrOffsetExists over rows that never became visible.
+			ws.rows, ws.offset = savedRows, savedOffset
 			return ws.offset, err
 		}
 	}
@@ -114,9 +167,22 @@ func (s *Server) AppendRows(streamID string, offset int64, rows *vector.Batch) (
 }
 
 // flushStreamLocked materializes buffered rows as a data file and
-// commits it to the table's transaction log.
-func (s *Server) flushStreamLocked(ws *writeStream) error {
+// commits it to the table's transaction log, sealing the stream's
+// durable state (offset atOffset, next flush sequence) in the same
+// commit record. The protocol is crash-consistent: journal intent →
+// data PUT → sealed commit. The data-file key derives from the
+// stream's flush sequence, so a retried flush overwrites its own
+// earlier attempt; a flush that dies between PUT and seal leaves one
+// orphan the journal intent has already declared for GC.
+func (s *Server) flushStreamLocked(ws *writeStream, atOffset int64) error {
 	if ws.rows == nil || ws.rows.N == 0 {
+		return nil
+	}
+	txnID := fmt.Sprintf("%s:f%d", ws.id, ws.flushSeq)
+	if _, done := s.Log.AppliedTx(txnID); done {
+		// A crashed predecessor sealed this exact flush; nothing to redo.
+		ws.rows = nil
+		ws.flushSeq++
 		return nil
 	}
 	t, err := s.Catalog.Table(ws.table)
@@ -135,7 +201,14 @@ func (s *Server) flushStreamLocked(ws *writeStream) error {
 	if err != nil {
 		return err
 	}
-	key := fmt.Sprintf("%sdata/%s-%d.blk", t.Prefix, sanitize(ws.id), s.Clock.Now()/time.Microsecond)
+	key := fmt.Sprintf("%sdata/%s-f%06d.blk", t.Prefix, sanitize(ws.id), ws.flushSeq)
+	var intentSeq int64
+	if s.Journal != nil {
+		if intentSeq, err = s.Journal.AppendIntent(txnID, ws.principal, []string{key}); err != nil {
+			return err
+		}
+	}
+	s.Crash.At("flush.before_put")
 	var info objstore.ObjectInfo
 	if err := s.Res.Do(s.Clock, nil, "PUT "+t.Bucket+"/"+key, func() error {
 		var pe error
@@ -144,6 +217,7 @@ func (s *Server) flushStreamLocked(ws *writeStream) error {
 	}); err != nil {
 		return err
 	}
+	s.Crash.At("flush.after_put")
 	footer, err := colfmt.ReadFooter(file)
 	if err != nil {
 		return err
@@ -154,7 +228,13 @@ func (s *Server) flushStreamLocked(ws *writeStream) error {
 			stats[f.Name] = st
 		}
 	}
-	_, err = s.Log.Commit(ws.principal, map[string]bigmeta.TableDelta{
+	sealed := ws.state(atOffset)
+	sealed.FlushSeq = ws.flushSeq + 1 // the retried flush mints the next key
+	_, err = s.Log.CommitTx(ws.principal, bigmeta.TxOptions{
+		TxnID:     txnID,
+		IntentSeq: intentSeq,
+		Streams:   map[string]bigmeta.StreamState{ws.id: sealed},
+	}, map[string]bigmeta.TableDelta{
 		ws.table: {Added: []bigmeta.FileEntry{{
 			Bucket: t.Bucket, Key: key, Size: info.Size,
 			RowCount: footer.Rows, ColumnStats: stats,
@@ -163,7 +243,9 @@ func (s *Server) flushStreamLocked(ws *writeStream) error {
 	if err != nil {
 		return err
 	}
+	s.Crash.At("flush.after_commit")
 	ws.rows = nil
+	ws.flushSeq++
 	return nil
 }
 
@@ -227,7 +309,7 @@ func (s *Server) FlushRows(streamID string, offset int64) (int64, error) {
 	}
 	saved := ws.rows
 	ws.rows = visible
-	if err := s.flushStreamLocked(ws); err != nil {
+	if err := s.flushStreamLocked(ws, offset); err != nil {
 		ws.rows = saved
 		return ws.flushed, err
 	}
@@ -237,13 +319,21 @@ func (s *Server) FlushRows(streamID string, offset int64) (int64, error) {
 }
 
 // FinalizeStream seals a stream against further appends and returns
-// the final row offset.
+// the final row offset. Finalizing an already-finalized stream is an
+// idempotent no-op returning the same offset, and the caller's
+// authority over the table is re-verified like every other stream RPC.
 func (s *Server) FinalizeStream(streamID string) (int64, error) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	ws, ok := s.writes[streamID]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoStream, streamID)
+	}
+	if err := s.Auth.CheckWrite(securityPrincipal(ws.principal), ws.table); err != nil {
+		return 0, err
+	}
+	if ws.finalized {
+		return ws.offset, nil
 	}
 	ws.finalized = true
 	return ws.offset, nil
@@ -252,12 +342,56 @@ func (s *Server) FinalizeStream(streamID string) (int64, error) {
 // BatchCommitStreams atomically commits a set of finalized pending
 // streams into their table(s) — the cross-stream transaction of
 // §2.2.2. Streams for different tables commit in one multi-table Big
-// Metadata transaction.
+// Metadata transaction. Committing an already-committed stream is an
+// error; crash-safe clients that need a retryable commit use
+// BatchCommitStreamsTx.
 func (s *Server) BatchCommitStreams(streamIDs []string) error {
+	return s.batchCommit("", streamIDs)
+}
+
+// BatchCommitStreamsTx is BatchCommitStreams with a client-supplied
+// idempotency ID: retrying after a crash or timeout is an exact no-op
+// once the original commit sealed, so the transaction applies exactly
+// once no matter how many times it is driven to completion.
+func (s *Server) BatchCommitStreamsTx(txnID string, streamIDs []string) error {
+	if txnID == "" {
+		return fmt.Errorf("storageapi: BatchCommitStreamsTx requires a txn ID")
+	}
+	return s.batchCommit(txnID, streamIDs)
+}
+
+// batchStream is one validated stream's prepared work.
+type batchStream struct {
+	ws    *writeStream
+	table catalog.Table
+	store *objstore.Store
+	cred  objstore.Credential
+	file  []byte
+	key   string
+}
+
+func (s *Server) batchCommit(txnID string, streamIDs []string) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	deltas := map[string]bigmeta.TableDelta{}
+
+	if txnID != "" {
+		if _, done := s.Log.AppliedTx(txnID); done {
+			// The original commit sealed before the caller heard the ack;
+			// converge local stream state and succeed idempotently.
+			for _, id := range streamIDs {
+				if ws, ok := s.writes[id]; ok {
+					ws.committed = true
+					ws.rows = nil
+				}
+			}
+			return nil
+		}
+	}
+
+	// Phase 1 — validate every stream before touching the store, so a
+	// bad stream ID midway can no longer strand earlier PUTs.
 	principal := ""
+	var prepared []batchStream
 	for _, id := range streamIDs {
 		ws, ok := s.writes[id]
 		if !ok {
@@ -267,6 +401,9 @@ func (s *Server) BatchCommitStreams(streamIDs []string) error {
 			return fmt.Errorf("storageapi: stream %s must be finalized before commit", id)
 		}
 		if ws.committed {
+			if txnID != "" {
+				continue // an already-durable member of this transaction
+			}
 			return fmt.Errorf("storageapi: stream %s already committed", id)
 		}
 		if ws.mode != PendingMode {
@@ -274,6 +411,7 @@ func (s *Server) BatchCommitStreams(streamIDs []string) error {
 		}
 		principal = ws.principal
 		if ws.rows == nil || ws.rows.N == 0 {
+			prepared = append(prepared, batchStream{ws: ws})
 			continue
 		}
 		t, err := s.Catalog.Table(ws.table)
@@ -292,16 +430,54 @@ func (s *Server) BatchCommitStreams(streamIDs []string) error {
 		if err != nil {
 			return err
 		}
-		key := fmt.Sprintf("%sdata/%s.blk", t.Prefix, sanitize(ws.id))
-		var info objstore.ObjectInfo
-		if err := s.Res.Do(s.Clock, nil, "PUT "+t.Bucket+"/"+key, func() error {
-			var pe error
-			info, pe = store.Put(cred, t.Bucket, key, file, "application/x-blk")
-			return pe
-		}); err != nil {
+		prepared = append(prepared, batchStream{
+			ws: ws, table: t, store: store, cred: cred, file: file,
+			key: fmt.Sprintf("%sdata/%s.blk", t.Prefix, sanitize(ws.id)),
+		})
+	}
+
+	// Phase 2 — declare every key in a journal intent, then PUT. Keys
+	// are deterministic per stream, so a crashed attempt's files are
+	// overwritten by the retry; a PUT failure aborts the intent and
+	// hands the debris to orphan GC.
+	var intentSeq int64
+	if s.Journal != nil && txnID != "" {
+		var keys []string
+		for _, b := range prepared {
+			if b.file != nil {
+				keys = append(keys, b.key)
+			}
+		}
+		var err error
+		if intentSeq, err = s.Journal.AppendIntent(txnID, principal, keys); err != nil {
 			return err
 		}
-		footer, err := colfmt.ReadFooter(file)
+	}
+	deltas := map[string]bigmeta.TableDelta{}
+	streams := map[string]bigmeta.StreamState{}
+	for _, b := range prepared {
+		sealed := b.ws.state(b.ws.offset)
+		sealed.Committed = true // committed iff the seal below lands
+		streams[b.ws.id] = sealed
+		if b.file == nil {
+			continue
+		}
+		s.Crash.At("batch.before_put")
+		var info objstore.ObjectInfo
+		if err := s.Res.Do(s.Clock, nil, "PUT "+b.table.Bucket+"/"+b.key, func() error {
+			var pe error
+			info, pe = b.store.Put(b.cred, b.table.Bucket, b.key, b.file, "application/x-blk")
+			return pe
+		}); err != nil {
+			if s.Journal != nil && txnID != "" {
+				if aerr := s.Journal.AppendAbort(txnID, intentSeq); aerr != nil {
+					return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+				}
+			}
+			return err
+		}
+		s.Crash.At("batch.after_put")
+		footer, err := colfmt.ReadFooter(b.file)
 		if err != nil {
 			return err
 		}
@@ -311,21 +487,29 @@ func (s *Server) BatchCommitStreams(streamIDs []string) error {
 				stats[f.Name] = st
 			}
 		}
-		d := deltas[ws.table]
+		d := deltas[b.ws.table]
 		d.Added = append(d.Added, bigmeta.FileEntry{
-			Bucket: t.Bucket, Key: key, Size: info.Size,
+			Bucket: b.table.Bucket, Key: b.key, Size: info.Size,
 			RowCount: footer.Rows, ColumnStats: stats,
 		})
-		deltas[ws.table] = d
+		deltas[b.ws.table] = d
 	}
+
+	// Phase 3 — one multi-table commit seals the data files and every
+	// stream's committed state atomically.
 	if len(deltas) > 0 {
-		if _, err := s.Log.Commit(principal, deltas); err != nil {
+		if _, err := s.Log.CommitTx(principal, bigmeta.TxOptions{
+			TxnID:     txnID,
+			IntentSeq: intentSeq,
+			Streams:   streams,
+		}, deltas); err != nil {
 			return err
 		}
+		s.Crash.At("batch.after_commit")
 	}
-	for _, id := range streamIDs {
-		s.writes[id].committed = true
-		s.writes[id].rows = nil
+	for _, b := range prepared {
+		b.ws.committed = true
+		b.ws.rows = nil
 	}
 	return nil
 }
