@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench bench-smoke ci
 
 all: build
 
@@ -61,4 +61,11 @@ crash:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: vet build test race chaos fuzz crash
+# Tiny-scale end-to-end run of the CPU-bound experiments (vectorized
+# reader + execution kernels), emitting BENCH_E2.json / BENCH_E15.json
+# for trend tracking. Timing thresholds are NOT enforced here — this
+# only guards that the measured paths run end to end.
+bench-smoke:
+	$(GO) run ./cmd/benchlake -json e2 e15
+
+ci: vet build test race chaos fuzz crash bench-smoke

@@ -254,6 +254,28 @@ func BenchmarkE13Availability(b *testing.B) {
 	}
 }
 
+// BenchmarkE15VectorizedExec: typed hash kernels + morsel-driven
+// join/aggregation vs the row-at-a-time baseline, morsel-worker
+// scaling, and the generation-keyed scan cache's cold/warm effect
+// (DESIGN.md experiment E15). Real CPU time.
+func BenchmarkE15VectorizedExec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE15(400000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "kernel_speedup_x")
+		for _, r := range res.Scaling {
+			if r.Workers == 4 {
+				b.ReportMetric(r.Speedup, "scaling_w4_x")
+			}
+		}
+		b.ReportMetric(float64(res.CacheColdSim.Milliseconds()), "cache_cold_sim_ms")
+		b.ReportMetric(float64(res.CacheWarmSim.Milliseconds()), "cache_warm_sim_ms")
+		b.ReportMetric(float64(res.CacheHits), "cache_hits")
+	}
+}
+
 // BenchmarkE14Recovery: crash recovery — journal replay time (simulated
 // wall clock) and orphan-GC bytes at the 400-commit journal length
 // (DESIGN.md experiment E14).

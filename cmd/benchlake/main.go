@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ var (
 	fuzzSeed    = flag.Uint64("seed", 1, "fuzz: base RNG seed")
 	fuzzTrials  = flag.Int("trials", 2, "fuzz: generated worlds per run")
 	fuzzQueries = flag.Int("queries", 70, "fuzz: SELECTs per world per phase")
+	jsonOut     = flag.Bool("json", false, "also write each result as BENCH_<ID>.json in the cwd")
 )
 
 func main() {
@@ -37,7 +39,7 @@ func main() {
 	}
 	ids := args
 	if len(args) == 1 && strings.EqualFold(args[0], "all") {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1", "a2", "a3", "a4"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "a1", "a2", "a3", "a4"}
 	}
 	for _, id := range ids {
 		if err := run(strings.ToLower(id)); err != nil {
@@ -49,9 +51,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] <experiment>...
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 a1 a2 a3 a4 all
+	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] [-json] <experiment>...
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 a1 a2 a3 a4 all
 fuzzing:     benchlake [-seed N] [-trials N] [-queries N] fuzz`)
+}
+
+// emitJSON writes one experiment's result struct as BENCH_<ID>.json
+// when -json is set, for machine consumption (CI trend tracking).
+func emitJSON(id string, res any) error {
+	if !*jsonOut {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := "BENCH_" + strings.ToUpper(id) + ".json"
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return nil
 }
 
 func header(title string) {
@@ -66,6 +86,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E1 | Figure 4: TPC-DS speedup with metadata caching (simulated wall clock)")
 		fmt.Printf("%-6s %-10s %14s %14s %10s\n", "query", "kind", "cache off", "cache on", "speedup")
 		for _, r := range res.Rows {
@@ -78,12 +101,18 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E2 | §3.4: vectorized vs row-oriented Read API (real CPU time)")
 		fmt.Printf("rows=%d  vectorized=%v  row-oriented=%v  gain=%.2fx  (paper: ~2x throughput)\n",
 			res.Rows, res.VectorizedTime, res.RowOrientedTime, res.ThroughputGain)
 	case "e3":
 		res, err := exp.RunE3(*scale)
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("E3 | §3.4: read-session statistics improve external-engine plans")
@@ -97,6 +126,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E4 | §3.4: external engine via Read API vs direct object-store reads (TPC-H)")
 		fmt.Printf("%-10s %14s %14s %18s\n", "plan", "direct", "read api", "direct/api ratio")
 		for _, r := range res.Rows {
@@ -108,6 +140,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E5 | §3.5: BLMT commit throughput vs object-store-committed formats")
 		fmt.Printf("commits=%d  blmt=%.1f/s  objstore=%.1f/s  advantage=%.1fx  read-after=%v\n",
 			res.Commits, res.BLMTPerSecond, res.ObjStorePerSecond, res.ThroughputAdvantage, res.ReadAfterCommits)
@@ -115,6 +150,9 @@ func run(id string) error {
 	case "e6":
 		res, err := exp.RunE6(5000 * *scale)
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("E6 | §4.1: object-table inventory vs direct listing")
@@ -127,6 +165,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E7 | Figure 7: distributed preprocess/infer split")
 		fmt.Printf("images=%d  colocated-peak=%dB  split-peak=%dB  reduction=%.2fx\n",
 			res.Images, res.ColocatedPeakBytes, res.SplitPeakBytes, res.MemoryReduction)
@@ -137,12 +178,18 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E8 | §4.2: in-engine vs external inference under burst")
 		fmt.Printf("queries=%d  in-engine=%v  remote=%v  penalty=%.2fx  big-model-rejected=%v\n",
 			res.Queries, res.InEngineTime, res.RemoteTime, res.RemotePenalty, res.BigModelRejected)
 	case "e9":
 		res, err := exp.RunE9(*scale)
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("E9 | §5.4: Dremel performance parity across clouds (TPC-H)")
@@ -155,6 +202,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E10 | §5.6.1: cross-cloud join with filter pushdown (A5 = pushdown off)")
 		fmt.Printf("pushdown: egress=%dB time=%v\n", res.PushdownEgress, res.PushdownTime)
 		fmt.Printf("full ship: egress=%dB time=%v\n", res.FullEgress, res.FullTime)
@@ -164,6 +214,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E11 | §5.6.2: CCMV incremental vs full replication")
 		fmt.Printf("incremental: files=%d bytes=%d\n", res.IncrementalFiles, res.IncrementalBytes)
 		fmt.Printf("full:        files=%d bytes=%d\n", res.FullFiles, res.FullBytes)
@@ -171,6 +224,9 @@ func run(id string) error {
 	case "e12":
 		res, err := exp.RunE12()
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("E12 | §3.2: uniform governance across engines (zero-trust boundary)")
@@ -183,12 +239,18 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("A1 | ablation: file-level statistics vs partition-only pruning")
 		fmt.Printf("files=%d  scanned(partition-only)=%d  scanned(file-stats)=%d  gain=%.1fx\n",
 			res.FilesTotal, res.ScannedPartOnly, res.ScannedFileStats, res.GranularityGain)
 	case "a2":
 		res, err := exp.RunA2(4000 * *scale)
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("A2 | ablation: governance at the Read API boundary vs client-side")
@@ -201,6 +263,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("A3 | ablation: baseline-reconciled snapshot reads vs full log replay")
 		fmt.Printf("commits=%d  baseline=%dns/read  replay=%dns/read  speedup=%.1fx\n",
 			res.Commits, res.BaselineNanos, res.ReplayNanos, res.Speedup)
@@ -209,11 +274,17 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("A4 | ablation: dictionary/RLE retention on the ReadRows wire")
 		fmt.Printf("plain=%dB  encoded=%dB  reduction=%.1fx\n", res.PlainBytes, res.EncodedBytes, res.Reduction)
 	case "e13":
 		res, err := exp.RunE13(*scale, 40)
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
 			return err
 		}
 		header("E13 | availability under injected object-store faults (TPC-H)")
@@ -228,6 +299,9 @@ func run(id string) error {
 		if err != nil {
 			return err
 		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
 		header("E14 | crash recovery: journal replay time and orphan GC vs journal length")
 		fmt.Printf("%8s %8s %11s %9s %10s %9s %12s\n",
 			"commits", "orphans", "recover(ms)", "gc(ms)", "gc-bytes", "gc-files", "us/commit")
@@ -235,6 +309,24 @@ func run(id string) error {
 			fmt.Printf("%8d %8d %11.2f %9.2f %10d %9d %12.1f\n",
 				r.Commits, r.Orphans, r.RecoverySimMS, r.GCSimMS, r.GCBytes, r.GCDeleted, r.PerCommitUS)
 		}
+	case "e15":
+		res, err := exp.RunE15(400000 * *scale)
+		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, res); err != nil {
+			return err
+		}
+		header("E15 | vectorized parallel execution: typed kernels, morsels, scan cache (real CPU time)")
+		fmt.Printf("fact=%d dim=%d  row-at-a-time=%v  vectorized=%v  speedup=%.2fx\n",
+			res.FactRows, res.DimRows, res.LegacyTime, res.VectorizedTime, res.Speedup)
+		fmt.Printf("%-8s %14s %10s\n", "workers", "time", "vs 1")
+		for _, r := range res.Scaling {
+			fmt.Printf("%-8d %14s %9.2fx\n", r.Workers, r.Time, r.Speedup)
+		}
+		fmt.Printf("scan cache: cold=%v warm=%v (sim %v -> %v)  hits=%d misses=%d\n",
+			res.CacheColdTime, res.CacheWarmTime, res.CacheColdSim, res.CacheWarmSim,
+			res.CacheHits, res.CacheMisses)
 	case "fuzz":
 		header(fmt.Sprintf("FUZZ | differential oracle soak (seed=%d trials=%d queries=%d)",
 			*fuzzSeed, *fuzzTrials, *fuzzQueries))
@@ -247,6 +339,9 @@ func run(id string) error {
 			},
 		})
 		if err != nil {
+			return err
+		}
+		if err := emitJSON(id, rep); err != nil {
 			return err
 		}
 		fmt.Printf("trials=%d queries=%d executions=%d fault-errors-accepted=%d\n",

@@ -198,7 +198,8 @@ func (m *Manager) writeDataFileAt(t catalog.Table, store *objstore.Store, cred o
 	}
 	return bigmeta.FileEntry{
 		Bucket: t.Bucket, Key: key, Size: info.Size,
-		RowCount: footer.Rows, ColumnStats: stats,
+		Generation: info.Generation,
+		RowCount:   footer.Rows, ColumnStats: stats,
 	}, nil
 }
 

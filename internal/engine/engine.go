@@ -11,6 +11,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -71,6 +72,20 @@ type Options struct {
 	// PruneGranularity selects partition-only vs file-level pruning
 	// (ablation A1).
 	PruneGranularity bigmeta.PruneGranularity
+	// MorselWorkers bounds the CPU parallelism of the vectorized join
+	// and aggregation kernels. 0 means runtime.GOMAXPROCS capped at 8.
+	// Results are bit-identical for every worker count.
+	MorselWorkers int
+	// EnableScanCache turns on the generation-keyed decoded-file cache:
+	// repeated scans of an unchanged object skip both the GET and the
+	// decode. Off by default — experiments opt in.
+	EnableScanCache bool
+	// ScanCacheBytes is the cache's decoded-byte budget (0 = default).
+	ScanCacheBytes int64
+	// RowAtATimeExec forces the historical row-at-a-time join and
+	// aggregation paths; kept as the baseline for the E15 speedup
+	// comparison and as the reference arm of differential tests.
+	RowAtATimeExec bool
 }
 
 // DefaultOptions is the production configuration.
@@ -80,6 +95,21 @@ func DefaultOptions() Options {
 		EnableDPP:        true,
 		PruneGranularity: bigmeta.PruneFiles,
 	}
+}
+
+// execWorkers resolves the effective morsel worker count.
+func (e *Engine) execWorkers() int {
+	if e.Opts.MorselWorkers > 0 {
+		return e.Opts.MorselWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Engine is one region's query engine instance.
@@ -107,6 +137,10 @@ type Engine struct {
 	scalars map[string]ScalarFunc
 	tvfs    map[string]TVFFunc
 	mutator Mutator
+
+	// scanCache holds decoded file contents keyed by object generation;
+	// nil unless Options.EnableScanCache is set.
+	scanCache *scanCache
 }
 
 // New assembles an engine.
@@ -114,7 +148,7 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 	meter := &sim.Meter{}
 	res := resilience.DefaultPolicy()
 	res.Meter = meter
-	return &Engine{
+	eng := &Engine{
 		Catalog: cat,
 		Auth:    auth,
 		Meta:    meta,
@@ -128,6 +162,10 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]TVFFunc),
 	}
+	if opts.EnableScanCache {
+		eng.scanCache = newScanCache(opts.ScanCacheBytes)
+	}
+	return eng
 }
 
 // RegisterScalar installs a scalar function under an upper-case name.
@@ -173,8 +211,12 @@ type ExecStats struct {
 	FooterReads  int64
 	BytesScanned int64
 	RowsScanned  int64
-	SimStart     time.Duration
-	SimElapsed   time.Duration
+	// CacheHits / CacheMisses count scan-cache lookups: a hit serves a
+	// file's decoded batch without re-fetching or re-decoding it.
+	CacheHits   int64
+	CacheMisses int64
+	SimStart    time.Duration
+	SimElapsed  time.Duration
 }
 
 // QueryContext carries per-query identity and accounting.

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"biglake/internal/colfmt"
 	"biglake/internal/sqlparse"
@@ -48,21 +50,20 @@ func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vecto
 	}
 
 	if len(sel.OrderBy) > 0 {
-		out, err = e.execOrderBy(ctx, sel, out, joined)
+		// LIMIT pushes below ORDER BY: a bounded top-K selection
+		// replaces the full sort when both are present.
+		limit := -1
+		if sel.Limit >= 0 {
+			limit = int(sel.Limit)
+		}
+		out, err = e.execOrderBy(ctx, sel, out, joined, limit)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if sel.Limit >= 0 && int64(out.N) > sel.Limit {
-		idx := make([]int, sel.Limit)
-		for i := range idx {
-			idx[i] = i
-		}
-		cols := make([]*vector.Column, len(out.Cols))
-		for i, c := range out.Cols {
-			cols[i] = vector.Gather(c, idx)
-		}
-		out = &vector.Batch{Schema: out.Schema, Cols: cols, N: len(idx)}
+		// Column prefix slice: LIMIT costs O(columns), not O(N).
+		out = vector.HeadBatch(out, int(sel.Limit))
 	}
 	return out, nil
 }
@@ -289,94 +290,53 @@ func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlpar
 		rightKeys = append(rightKeys, ri)
 	}
 
-	// Build on the right side (joined table); probe with the left.
-	build := make(map[string][]int, right.N)
-	for r := 0; r < right.N; r++ {
-		key, null := joinKey(right, rightKeys, r)
-		if null {
-			continue
-		}
-		build[key] = append(build[key], r)
-	}
-	var leftIdx, rightIdx []int
-	var leftOnly []int
-	for l := 0; l < left.N; l++ {
-		key, null := joinKey(left, leftKeys, l)
-		if null {
-			if j.Kind == sqlparse.LeftJoin {
-				leftOnly = append(leftOnly, l)
-			}
-			continue
-		}
-		matches := build[key]
-		if len(matches) == 0 {
-			if j.Kind == sqlparse.LeftJoin {
-				leftOnly = append(leftOnly, l)
-			}
-			continue
-		}
-		for _, r := range matches {
-			leftIdx = append(leftIdx, l)
-			rightIdx = append(rightIdx, r)
-		}
+	if e.Opts.RowAtATimeExec {
+		return e.hashJoinLegacy(left, right, leftKeys, rightKeys, j.Kind)
 	}
 
-	fields := append(append([]vector.Field(nil), left.Schema.Fields...), right.Schema.Fields...)
-	cols := make([]*vector.Column, 0, len(fields))
-	totalRows := len(leftIdx) + len(leftOnly)
-	for _, c := range left.Cols {
-		full := append(append([]int(nil), leftIdx...), leftOnly...)
-		cols = append(cols, vector.Gather(c, full))
+	kind := vector.InnerJoin
+	if j.Kind == sqlparse.LeftJoin {
+		kind = vector.LeftOuterJoin
 	}
-	for _, c := range right.Cols {
-		g := vector.Gather(c, rightIdx)
-		if len(leftOnly) > 0 {
-			// Null-extend for unmatched left rows.
-			retyped := &vector.Column{Type: c.Type, Len: len(leftOnly), Enc: vector.Plain, Nulls: make([]bool, len(leftOnly))}
-			for i := range retyped.Nulls {
-				retyped.Nulls[i] = true
-			}
-			switch c.Type {
-			case vector.Int64, vector.Timestamp:
-				retyped.Ints = make([]int64, len(leftOnly))
-			case vector.Float64:
-				retyped.Floats = make([]float64, len(leftOnly))
-			case vector.Bool:
-				retyped.Bools = make([]bool, len(leftOnly))
-			case vector.String, vector.Bytes:
-				retyped.Strs = make([]string, len(leftOnly))
-			}
-			merged, err := vector.AppendBatch(
-				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{g}),
-				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{retyped}),
-			)
-			if err != nil {
-				return nil, err
-			}
-			g = merged.Cols[0]
-		}
-		cols = append(cols, g)
-	}
-	b, err := vector.NewBatch(vector.Schema{Fields: fields}, cols)
+	workers := e.execWorkers()
+	res, err := vector.HashJoin(left, right, leftKeys, rightKeys, kind, workers)
 	if err != nil {
 		return nil, err
 	}
-	if b.N != totalRows {
-		return nil, fmt.Errorf("engine: join row accounting mismatch %d != %d", b.N, totalRows)
-	}
-	return b, nil
-}
 
-func joinKey(b *vector.Batch, keys []int, row int) (string, bool) {
-	var sb strings.Builder
-	for _, k := range keys {
-		v := b.Cols[k].Value(row)
-		if v.IsNull() {
-			return "", true
-		}
-		fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
+	// One combined index per side: matched pairs in probe order, then
+	// the null-extended unmatched left rows (right index -1 = NULL).
+	nOut := len(res.Left) + len(res.LeftOuter)
+	leftFull := make([]int32, 0, nOut)
+	leftFull = append(leftFull, res.Left...)
+	leftFull = append(leftFull, res.LeftOuter...)
+	rightFull := make([]int32, nOut)
+	copy(rightFull, res.Right)
+	for i := len(res.Right); i < nOut; i++ {
+		rightFull[i] = -1
 	}
-	return sb.String(), false
+
+	fields := append(append([]vector.Field(nil), left.Schema.Fields...), right.Schema.Fields...)
+	cols := make([]*vector.Column, len(left.Cols)+len(right.Cols))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	gather := func(dst int, c *vector.Column, idx []int32) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cols[dst] = vector.GatherNull(c, idx)
+		}()
+	}
+	for i, c := range left.Cols {
+		gather(i, c, leftFull)
+	}
+	for i, c := range right.Cols {
+		gather(len(left.Cols)+i, c, rightFull)
+	}
+	wg.Wait()
+	return vector.NewBatch(vector.Schema{Fields: fields}, cols)
 }
 
 // execProject evaluates the projection list.
@@ -430,35 +390,6 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 		keyCols[i] = c
 	}
 
-	type group struct {
-		rows []int
-		key  []vector.Value
-	}
-	groups := map[string]*group{}
-	var orderKeys []string
-	for r := 0; r < in.N; r++ {
-		var sb strings.Builder
-		key := make([]vector.Value, len(keyCols))
-		for i, kc := range keyCols {
-			v := kc.Value(r)
-			key[i] = v
-			fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
-		}
-		ks := sb.String()
-		g, ok := groups[ks]
-		if !ok {
-			g = &group{key: key}
-			groups[ks] = g
-			orderKeys = append(orderKeys, ks)
-		}
-		g.rows = append(g.rows, r)
-	}
-	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		// Global aggregate over zero rows still yields one row.
-		groups[""] = &group{}
-		orderKeys = append(orderKeys, "")
-	}
-
 	// Pre-evaluate aggregate argument expressions once over the whole
 	// input.
 	argCols := map[string]*vector.Column{}
@@ -491,104 +422,171 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 		}
 	}
 
-	// groupExprIndex maps a GROUP BY expression's rendering to its key
-	// position for non-aggregate select items.
-	groupExprIndex := map[string]int{}
-	for i, g := range sel.GroupBy {
-		groupExprIndex[g.String()] = i
-		if ref, ok := g.(sqlparse.ColumnRef); ok {
-			groupExprIndex[ref.Name] = i // allow unqualified reuse
-		}
+	if e.Opts.RowAtATimeExec {
+		return e.execAggregateLegacy(ctx, sel, in, keyCols, argCols)
 	}
 
-	evalItem := func(item sqlparse.SelectItem, g *group) (vector.Value, error) {
-		if call, ok := item.Expr.(sqlparse.Call); ok && sqlparse.AggregateFuncs[call.Name] {
-			return evalAggregateCall(call, g.rows, argCols, in.N)
+	workers := e.execWorkers()
+	grouping := vector.GroupKeys(keyCols, in.N, workers)
+
+	// Classify select items into aggregate specs (deduplicated; AVG
+	// decomposes into SUM + COUNT) and group-key references. Errors are
+	// deferred exactly like the row-at-a-time path: with zero groups no
+	// item is ever evaluated, so nothing can fail.
+	groupExprIndex := groupKeyIndex(sel)
+	type itemPlan struct {
+		specA  int // primary spec (-1 = group key reference)
+		specB  int // COUNT spec for AVG, else -1
+		avg    bool
+		keyIdx int
+	}
+	var specs []vector.AggSpec
+	type specKey struct {
+		kind vector.AggKind
+		col  *vector.Column
+	}
+	specIdx := map[specKey]int{}
+	addSpec := func(kind vector.AggKind, col *vector.Column) int {
+		k := specKey{kind, col}
+		if i, ok := specIdx[k]; ok {
+			return i
 		}
-		if i, ok := groupExprIndex[item.Expr.String()]; ok {
-			return g.key[i], nil
+		specs = append(specs, vector.AggSpec{Kind: kind, Col: col})
+		specIdx[k] = len(specs) - 1
+		return len(specs) - 1
+	}
+	plans := make([]itemPlan, len(sel.Items))
+	var itemErr error
+	for i, item := range sel.Items {
+		plans[i] = itemPlan{specA: -1, specB: -1, keyIdx: -1}
+		classify := func() error {
+			if call, ok := item.Expr.(sqlparse.Call); ok && sqlparse.AggregateFuncs[call.Name] {
+				if call.Name == "COUNT" && (call.Star || len(call.Args) == 0) {
+					plans[i].specA = addSpec(vector.AggCount, nil)
+					return nil
+				}
+				if len(call.Args) != 1 {
+					return fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
+				}
+				col := argCols[call.Args[0].String()]
+				if col == nil {
+					return fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
+				}
+				switch call.Name {
+				case "COUNT":
+					plans[i].specA = addSpec(vector.AggCount, col)
+				case "SUM":
+					plans[i].specA = addSpec(vector.AggSum, col)
+				case "MIN":
+					plans[i].specA = addSpec(vector.AggMin, col)
+				case "MAX":
+					plans[i].specA = addSpec(vector.AggMax, col)
+				case "AVG":
+					plans[i].specA = addSpec(vector.AggSum, col)
+					plans[i].specB = addSpec(vector.AggCount, col)
+					plans[i].avg = true
+				default:
+					return fmt.Errorf("%w: aggregate %s", ErrUnsupported, call.Name)
+				}
+				return nil
+			}
+			if k, ok := groupExprIndex[item.Expr.String()]; ok {
+				plans[i].keyIdx = k
+				return nil
+			}
+			if ref, ok := item.Expr.(sqlparse.ColumnRef); ok {
+				if k, ok := groupExprIndex[ref.Name]; ok {
+					plans[i].keyIdx = k
+					return nil
+				}
+			}
+			return fmt.Errorf("%w: %s must appear in GROUP BY or an aggregate", ErrSemantic, item.Expr)
 		}
-		if ref, ok := item.Expr.(sqlparse.ColumnRef); ok {
-			if i, ok := groupExprIndex[ref.Name]; ok {
-				return g.key[i], nil
+		if err := classify(); err != nil && itemErr == nil {
+			itemErr = err
+		}
+	}
+	if grouping.NumGroups > 0 && itemErr != nil {
+		return nil, itemErr
+	}
+
+	results := vector.GroupAggregate(grouping.IDs, grouping.NumGroups, specs, workers)
+
+	// Group-key values come from each group's first-encounter row.
+	keyVals := make([][]vector.Value, len(keyCols))
+	for k, kc := range keyCols {
+		keyVals[k] = make([]vector.Value, grouping.NumGroups)
+		for g, rep := range grouping.Rep {
+			if rep >= 0 {
+				keyVals[k][g] = kc.Value(int(rep))
 			}
 		}
-		return vector.NullValue, fmt.Errorf("%w: %s must appear in GROUP BY or an aggregate", ErrSemantic, item.Expr)
 	}
 
-	// Build output.
-	bl := struct {
-		fields []vector.Field
-		rows   [][]vector.Value
-	}{}
-	for _, ks := range orderKeys {
-		g := groups[ks]
+	rows := make([][]vector.Value, grouping.NumGroups)
+	for g := 0; g < grouping.NumGroups; g++ {
 		row := make([]vector.Value, len(sel.Items))
-		for i, item := range sel.Items {
-			v, err := evalItem(item, g)
-			if err != nil {
-				return nil, err
+		for i := range sel.Items {
+			p := plans[i]
+			switch {
+			case p.avg:
+				sum, cnt := results[p.specA][g], results[p.specB][g]
+				if sum.IsNull() || cnt.AsInt() == 0 {
+					row[i] = vector.NullValue
+				} else {
+					row[i] = vector.FloatValue(sum.AsFloat() / float64(cnt.AsInt()))
+				}
+			case p.specA >= 0:
+				row[i] = results[p.specA][g]
+			default:
+				row[i] = keyVals[p.keyIdx][g]
 			}
-			row[i] = v
 		}
-		bl.rows = append(bl.rows, row)
+		rows[g] = row
 	}
-	// Infer output types from the first non-null value per column.
+	return buildAggregateOutput(sel, rows)
+}
+
+// groupKeyIndex maps a GROUP BY expression's rendering (and, for
+// column references, the bare name) to its key position.
+func groupKeyIndex(sel *sqlparse.SelectStmt) map[string]int {
+	idx := map[string]int{}
+	for i, g := range sel.GroupBy {
+		idx[g.String()] = i
+		if ref, ok := g.(sqlparse.ColumnRef); ok {
+			idx[ref.Name] = i // allow unqualified reuse
+		}
+	}
+	return idx
+}
+
+// buildAggregateOutput materializes aggregate result rows, inferring
+// each output column's type from its first non-null value (Int64 when
+// all null).
+func buildAggregateOutput(sel *sqlparse.SelectStmt, rows [][]vector.Value) (*vector.Batch, error) {
+	fields := make([]vector.Field, 0, len(sel.Items))
 	for i, item := range sel.Items {
 		t := vector.Int64
-		for _, row := range bl.rows {
+		for _, row := range rows {
 			if !row[i].IsNull() {
 				t = row[i].Type
 				break
 			}
 		}
-		bl.fields = append(bl.fields, vector.Field{Name: outputName(item, i), Type: t})
+		fields = append(fields, vector.Field{Name: outputName(item, i), Type: t})
 	}
-	builder := vector.NewBuilder(vector.Schema{Fields: bl.fields})
-	for _, row := range bl.rows {
+	builder := vector.NewBuilder(vector.Schema{Fields: fields})
+	for _, row := range rows {
 		builder.Append(row...)
 	}
 	return builder.Build(), nil
 }
 
-func evalAggregateCall(call sqlparse.Call, rows []int, argCols map[string]*vector.Column, n int) (vector.Value, error) {
-	if call.Name == "COUNT" && (call.Star || len(call.Args) == 0) {
-		return vector.IntValue(int64(len(rows))), nil
-	}
-	if len(call.Args) != 1 {
-		return vector.NullValue, fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
-	}
-	col := argCols[call.Args[0].String()]
-	if col == nil {
-		return vector.NullValue, fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
-	}
-	mask := make([]bool, n)
-	for _, r := range rows {
-		mask[r] = true
-	}
-	switch call.Name {
-	case "COUNT":
-		return vector.Aggregate(col, vector.AggCount, mask), nil
-	case "SUM":
-		return vector.Aggregate(col, vector.AggSum, mask), nil
-	case "MIN":
-		return vector.Aggregate(col, vector.AggMin, mask), nil
-	case "MAX":
-		return vector.Aggregate(col, vector.AggMax, mask), nil
-	case "AVG":
-		sum := vector.Aggregate(col, vector.AggSum, mask)
-		cnt := vector.Aggregate(col, vector.AggCount, mask)
-		if sum.IsNull() || cnt.AsInt() == 0 {
-			return vector.NullValue, nil
-		}
-		return vector.FloatValue(sum.AsFloat() / float64(cnt.AsInt())), nil
-	}
-	return vector.NullValue, fmt.Errorf("%w: aggregate %s", ErrUnsupported, call.Name)
-}
-
 // execOrderBy sorts the projected output. ORDER BY expressions may
-// reference output aliases or input columns.
-func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, in *vector.Batch) (*vector.Batch, error) {
+// reference output aliases or input columns. A non-negative limit
+// bounds the sort to a top-K selection over a size-K heap — same
+// result as the full stable sort followed by LIMIT, in O(N log K).
+func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, in *vector.Batch, limit int) (*vector.Batch, error) {
 	keys := make([]*vector.Column, len(sel.OrderBy))
 	for i, item := range sel.OrderBy {
 		// Try the output schema first (aliases and group keys — whose
@@ -611,13 +609,11 @@ func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, i
 		}
 		keys[i] = c
 	}
-	idx := make([]int, out.N)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
+	// Strict total order: ORDER BY keys, then original row index — the
+	// order a stable sort produces.
+	less := func(a, b int) bool {
 		for k, item := range sel.OrderBy {
-			va, vb := keys[k].Value(idx[a]), keys[k].Value(idx[b])
+			va, vb := keys[k].Value(a), keys[k].Value(b)
 			cmp := compareForSort(va, vb)
 			if cmp == 0 {
 				continue
@@ -627,13 +623,58 @@ func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, i
 			}
 			return cmp < 0
 		}
-		return false
-	})
+		return a < b
+	}
+
+	var idx []int
+	if limit >= 0 && limit < out.N {
+		idx = topK(out.N, limit, less)
+	} else {
+		idx = make([]int, out.N)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	}
 	cols := make([]*vector.Column, len(out.Cols))
 	for i, c := range out.Cols {
 		cols[i] = vector.Gather(c, idx)
 	}
-	return &vector.Batch{Schema: out.Schema, Cols: cols, N: out.N}, nil
+	return &vector.Batch{Schema: out.Schema, Cols: cols, N: len(idx)}, nil
+}
+
+// orderHeap is a bounded max-heap over row indices: the root is the
+// worst row currently kept, so a better candidate replaces it in
+// O(log K).
+type orderHeap struct {
+	idx  []int
+	less func(a, b int) bool
+}
+
+func (h *orderHeap) Len() int           { return len(h.idx) }
+func (h *orderHeap) Less(i, j int) bool { return h.less(h.idx[j], h.idx[i]) }
+func (h *orderHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *orderHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *orderHeap) Pop() any {
+	x := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return x
+}
+
+// topK returns the first k rows of the sorted order without sorting
+// all n rows.
+func topK(n, k int, less func(a, b int) bool) []int {
+	h := &orderHeap{less: less}
+	for i := 0; i < n; i++ {
+		if h.Len() < k {
+			heap.Push(h, i)
+		} else if k > 0 && less(i, h.idx[0]) {
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	sort.Slice(h.idx, func(a, b int) bool { return less(h.idx[a], h.idx[b]) })
+	return h.idx
 }
 
 // compareForSort orders values with NULLs first.

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"biglake/internal/sqlparse"
+	"biglake/internal/vector"
+)
+
+// This file preserves the pre-vectorized row-at-a-time join and
+// aggregation paths, selected by Options.RowAtATimeExec. They are the
+// measured baseline for the E15 speedup comparison and the reference
+// arm of the kernel differential tests; the vectorized paths in
+// exec.go must produce bit-identical results.
+
+// hashJoinLegacy executes an equi-join with string-materialized keys,
+// one row at a time.
+func (e *Engine) hashJoinLegacy(left, right *vector.Batch, leftKeys, rightKeys []int, kind sqlparse.JoinKind) (*vector.Batch, error) {
+	// Build on the right side (joined table); probe with the left.
+	build := make(map[string][]int, right.N)
+	for r := 0; r < right.N; r++ {
+		key, null := joinKey(right, rightKeys, r)
+		if null {
+			continue
+		}
+		build[key] = append(build[key], r)
+	}
+	var leftIdx, rightIdx []int
+	var leftOnly []int
+	for l := 0; l < left.N; l++ {
+		key, null := joinKey(left, leftKeys, l)
+		if null {
+			if kind == sqlparse.LeftJoin {
+				leftOnly = append(leftOnly, l)
+			}
+			continue
+		}
+		matches := build[key]
+		if len(matches) == 0 {
+			if kind == sqlparse.LeftJoin {
+				leftOnly = append(leftOnly, l)
+			}
+			continue
+		}
+		for _, r := range matches {
+			leftIdx = append(leftIdx, l)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+
+	fields := append(append([]vector.Field(nil), left.Schema.Fields...), right.Schema.Fields...)
+	cols := make([]*vector.Column, 0, len(fields))
+	totalRows := len(leftIdx) + len(leftOnly)
+	for _, c := range left.Cols {
+		full := append(append([]int(nil), leftIdx...), leftOnly...)
+		cols = append(cols, vector.Gather(c, full))
+	}
+	for _, c := range right.Cols {
+		g := vector.Gather(c, rightIdx)
+		if len(leftOnly) > 0 {
+			// Null-extend for unmatched left rows.
+			merged, err := vector.AppendBatch(
+				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{g}),
+				vector.MustBatch(vector.NewSchema(vector.Field{Name: "x", Type: c.Type}), []*vector.Column{vector.NullColumn(c.Type, len(leftOnly))}),
+			)
+			if err != nil {
+				return nil, err
+			}
+			g = merged.Cols[0]
+		}
+		cols = append(cols, g)
+	}
+	b, err := vector.NewBatch(vector.Schema{Fields: fields}, cols)
+	if err != nil {
+		return nil, err
+	}
+	if b.N != totalRows {
+		return nil, fmt.Errorf("engine: join row accounting mismatch %d != %d", b.N, totalRows)
+	}
+	return b, nil
+}
+
+func joinKey(b *vector.Batch, keys []int, row int) (string, bool) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v := b.Cols[k].Value(row)
+		if v.IsNull() {
+			return "", true
+		}
+		fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
+	}
+	return sb.String(), false
+}
+
+// execAggregateLegacy evaluates GROUP BY / aggregate queries with
+// string-keyed groups and per-group mask aggregation.
+func (e *Engine) execAggregateLegacy(ctx *QueryContext, sel *sqlparse.SelectStmt, in *vector.Batch, keyCols []*vector.Column, argCols map[string]*vector.Column) (*vector.Batch, error) {
+	type group struct {
+		rows []int
+		key  []vector.Value
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+	for r := 0; r < in.N; r++ {
+		var sb strings.Builder
+		key := make([]vector.Value, len(keyCols))
+		for i, kc := range keyCols {
+			v := kc.Value(r)
+			key[i] = v
+			fmt.Fprintf(&sb, "%d|%s|", v.Type, v.String())
+		}
+		ks := sb.String()
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key}
+			groups[ks] = g
+			orderKeys = append(orderKeys, ks)
+		}
+		g.rows = append(g.rows, r)
+	}
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		// Global aggregate over zero rows still yields one row.
+		groups[""] = &group{}
+		orderKeys = append(orderKeys, "")
+	}
+
+	groupExprIndex := groupKeyIndex(sel)
+
+	evalItem := func(item sqlparse.SelectItem, g *group) (vector.Value, error) {
+		if call, ok := item.Expr.(sqlparse.Call); ok && sqlparse.AggregateFuncs[call.Name] {
+			return evalAggregateCall(call, g.rows, argCols, in.N)
+		}
+		if i, ok := groupExprIndex[item.Expr.String()]; ok {
+			return g.key[i], nil
+		}
+		if ref, ok := item.Expr.(sqlparse.ColumnRef); ok {
+			if i, ok := groupExprIndex[ref.Name]; ok {
+				return g.key[i], nil
+			}
+		}
+		return vector.NullValue, fmt.Errorf("%w: %s must appear in GROUP BY or an aggregate", ErrSemantic, item.Expr)
+	}
+
+	// Build output.
+	rows := make([][]vector.Value, 0, len(orderKeys))
+	for _, ks := range orderKeys {
+		g := groups[ks]
+		row := make([]vector.Value, len(sel.Items))
+		for i, item := range sel.Items {
+			v, err := evalItem(item, g)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return buildAggregateOutput(sel, rows)
+}
+
+func evalAggregateCall(call sqlparse.Call, rows []int, argCols map[string]*vector.Column, n int) (vector.Value, error) {
+	if call.Name == "COUNT" && (call.Star || len(call.Args) == 0) {
+		return vector.IntValue(int64(len(rows))), nil
+	}
+	if len(call.Args) != 1 {
+		return vector.NullValue, fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
+	}
+	col := argCols[call.Args[0].String()]
+	if col == nil {
+		return vector.NullValue, fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
+	}
+	mask := make([]bool, n)
+	for _, r := range rows {
+		mask[r] = true
+	}
+	switch call.Name {
+	case "COUNT":
+		return vector.Aggregate(col, vector.AggCount, mask), nil
+	case "SUM":
+		return vector.Aggregate(col, vector.AggSum, mask), nil
+	case "MIN":
+		return vector.Aggregate(col, vector.AggMin, mask), nil
+	case "MAX":
+		return vector.Aggregate(col, vector.AggMax, mask), nil
+	case "AVG":
+		sum := vector.Aggregate(col, vector.AggSum, mask)
+		cnt := vector.Aggregate(col, vector.AggCount, mask)
+		if sum.IsNull() || cnt.AsInt() == 0 {
+			return vector.NullValue, nil
+		}
+		return vector.FloatValue(sum.AsFloat() / float64(cnt.AsInt())), nil
+	}
+	return vector.NullValue, fmt.Errorf("%w: aggregate %s", ErrUnsupported, call.Name)
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -93,12 +94,15 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 		tracks := startTracks(e.Clock, ScanWorkers)
 		var wg sync.WaitGroup
 		errs := make(chan error, len(infos))
+		sem := make(chan struct{}, ScanWorkers)
+		var footerPeeks int64
 		for i, info := range infos {
 			entries[i] = bigmeta.FileEntry{
-				Bucket:    t.Bucket,
-				Key:       info.Key,
-				Size:      info.Size,
-				Partition: bigmeta.PartitionOf(t.Prefix, info.Key),
+				Bucket:     t.Bucket,
+				Key:        info.Key,
+				Size:       info.Size,
+				Generation: info.Generation,
+				Partition:  bigmeta.PartitionOf(t.Prefix, info.Key),
 			}
 			// Partition pruning needs no footer; only survivors get a
 			// footer peek.
@@ -106,9 +110,12 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 				entries[i].Size = -1 // mark pruned
 				continue
 			}
+			footerPeeks++
 			wg.Add(1)
 			go func(i int, key string) {
 				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
 				tr := tracks[i%ScanWorkers]
 				stats, rows, err := footerPeek(e.Res, ctx.Budget, store, cred, t.Bucket, key, tr)
 				if err != nil {
@@ -120,12 +127,14 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 			}(i, info.Key)
 		}
 		wg.Wait()
-		close(errs)
-		if err := <-errs; err != nil {
+		// Tracks fold into the global clock even when a worker failed,
+		// so an error return cannot leak simulated-time tracks.
+		joinTracks(tracks)
+		// Only survivors of partition pruning got a footer peek.
+		ctx.Stats.FooterReads += footerPeeks
+		if err := drainErrs(errs); err != nil {
 			return nil, err
 		}
-		joinTracks(tracks)
-		ctx.Stats.FooterReads += int64(len(infos))
 		for _, en := range entries {
 			if en.Size < 0 {
 				ctx.Stats.FilesPruned++
@@ -237,6 +246,8 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 	}
 
 	results := make([]*vector.Batch, len(files))
+	hits := make([]bool, len(files))
+	misses := make([]bool, len(files))
 	tracks := startTracks(e.Clock, ScanWorkers)
 	var wg sync.WaitGroup
 	errs := make(chan error, len(files))
@@ -248,43 +259,72 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tr := tracks[i%ScanWorkers]
+
+			// Generation-keyed scan cache: an object generation pins
+			// immutable content, so a known-generation hit skips both
+			// the GET and the decode.
+			cacheKey := scanCacheKey{Cloud: t.Cloud, Bucket: f.Bucket, Key: f.Key, Generation: f.Generation}
+			if e.scanCache != nil && f.Generation > 0 {
+				if full, ok := e.scanCache.get(cacheKey); ok {
+					hits[i] = true
+					b, err := finishDecoded(full, filePreds, f, t)
+					if err != nil {
+						errs <- err
+						return
+					}
+					results[i] = b
+					return
+				}
+			}
+
 			var data []byte
+			var info objstore.ObjectInfo
 			err := e.Res.HedgedDo(tr, ctx.Budget, "GET "+f.Bucket+"/"+f.Key, func(ch sim.Charger) error {
-				d, _, ge := store.GetOn(ch, cred, f.Bucket, f.Key)
+				d, oi, ge := store.GetOn(ch, cred, f.Bucket, f.Key)
 				if ge != nil {
 					return ge
 				}
-				data = d
+				data, info = d, oi
 				return nil
 			})
 			if err != nil {
 				errs <- err
 				return
 			}
-			// Hive-partitioned files do not store the partition
-			// column; push only the predicates the file can evaluate
-			// (the rest were consumed by pruning and are re-checked
-			// after partition-column injection).
-			footer, err := colfmt.ReadFooter(data)
-			if err != nil {
-				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
-				return
-			}
-			fileSchema := footer.Schema()
-			preds := filePreds[:0:0]
-			for _, p := range filePreds {
-				if fileSchema.Index(p.Column) >= 0 {
-					preds = append(preds, p)
+			if e.scanCache != nil {
+				// The file-entry generation may be unknown (0): the GET
+				// just told us the real one, so the decode may still be
+				// reusable — or worth caching for the next query.
+				cacheKey.Generation = info.Generation
+				if full, ok := e.scanCache.get(cacheKey); ok {
+					hits[i] = true
+					b, err := finishDecoded(full, filePreds, f, t)
+					if err != nil {
+						errs <- err
+						return
+					}
+					results[i] = b
+					return
 				}
-			}
-			r, err := colfmt.NewVectorizedReader(data, nil, preds)
-			if err != nil {
-				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
+				misses[i] = true
+				full, err := decodeFile(data, nil)
+				if err != nil {
+					errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
+					return
+				}
+				e.scanCache.put(cacheKey, full)
+				b, err := finishDecoded(full, filePreds, f, t)
+				if err != nil {
+					errs <- err
+					return
+				}
+				results[i] = b
 				return
 			}
-			b, err := r.ReadAll()
+
+			b, err := decodeFile(data, filePreds)
 			if err != nil {
-				errs <- err
+				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
 				return
 			}
 			// Inject partition columns as constant columns so queries
@@ -298,11 +338,19 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 		}(i, f)
 	}
 	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	// Join tracks before any error return so sim tracks never leak.
+	joinTracks(tracks)
+	for i := range files {
+		if hits[i] {
+			ctx.Stats.CacheHits++
+		}
+		if misses[i] {
+			ctx.Stats.CacheMisses++
+		}
+	}
+	if err := drainErrs(errs); err != nil {
 		return nil, err
 	}
-	joinTracks(tracks)
 
 	var out *vector.Batch
 	for _, b := range results {
@@ -324,6 +372,67 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 	}
 	ctx.Stats.RowsScanned += int64(out.N)
 	return out, nil
+}
+
+// decodeFile decodes complete file bytes through the vectorized
+// reader. Hive-partitioned files do not store the partition column;
+// the caller passes only the predicates the file can evaluate (the
+// rest were consumed by pruning and are re-checked after
+// partition-column injection), and this helper further drops any
+// predicate the file's actual schema lacks.
+func decodeFile(data []byte, filePreds []colfmt.Predicate) (*vector.Batch, error) {
+	footer, err := colfmt.ReadFooter(data)
+	if err != nil {
+		return nil, err
+	}
+	fileSchema := footer.Schema()
+	preds := filePreds[:0:0]
+	for _, p := range filePreds {
+		if fileSchema.Index(p.Column) >= 0 {
+			preds = append(preds, p)
+		}
+	}
+	r, err := colfmt.NewVectorizedReader(data, nil, preds)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}
+
+// finishDecoded turns a cached full (unfiltered) decode into the same
+// batch the direct read path produces: predicate filtering followed by
+// partition-column injection.
+func finishDecoded(full *vector.Batch, filePreds []colfmt.Predicate, f bigmeta.FileEntry, t catalog.Table) (*vector.Batch, error) {
+	b := full
+	preds := filePreds[:0:0]
+	for _, p := range filePreds {
+		if b.Schema.Index(p.Column) >= 0 {
+			preds = append(preds, p)
+		}
+	}
+	if len(preds) > 0 {
+		mask, err := colfmt.EvalPredicates(b, preds)
+		if err != nil {
+			return nil, err
+		}
+		b, err = vector.Filter(b, mask)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return injectPartitionColumns(b, f.Partition, t)
+}
+
+// drainErrs closes the worker error channel and joins every error the
+// pool reported — not just the first — so multi-file failures surface
+// completely.
+func drainErrs(errs chan error) error {
+	close(errs)
+	var all []error
+	for err := range errs {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
 }
 
 // injectPartitionColumns adds hive partition values as columns when

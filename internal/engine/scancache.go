@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"biglake/internal/vector"
+)
+
+// DefaultScanCacheBytes is the decoded-byte budget of the scan cache
+// when Options.ScanCacheBytes is zero.
+const DefaultScanCacheBytes = 256 << 20
+
+// scanCacheKey identifies one immutable object version. Object-store
+// generations increment on every overwrite, so (cloud, bucket, key,
+// generation) pins exact content: a new generation is simply a
+// different cache entry and stale ones age out of the LRU.
+type scanCacheKey struct {
+	Cloud      string
+	Bucket     string
+	Key        string
+	Generation int64
+}
+
+// scanCacheEntry is a fully decoded file: the unfiltered batch as the
+// vectorized reader produced it (before predicate filtering, which
+// depends on the query and is re-applied per lookup).
+type scanCacheEntry struct {
+	key   scanCacheKey
+	batch *vector.Batch
+	bytes int64
+}
+
+// scanCache is a byte-budgeted LRU over decoded file batches.
+type scanCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values are *scanCacheEntry
+	items  map[scanCacheKey]*list.Element
+}
+
+func newScanCache(budget int64) *scanCache {
+	if budget <= 0 {
+		budget = DefaultScanCacheBytes
+	}
+	return &scanCache{
+		budget: budget,
+		lru:    list.New(),
+		items:  make(map[scanCacheKey]*list.Element),
+	}
+}
+
+// get returns the decoded batch for an object generation, if cached.
+func (c *scanCache) get(key scanCacheKey) (*vector.Batch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*scanCacheEntry).batch, true
+}
+
+// put inserts a decoded batch, evicting least-recently-used entries
+// past the byte budget. Oversized batches (bigger than the whole
+// budget) are not cached at all.
+func (c *scanCache) put(key scanCacheKey, b *vector.Batch) {
+	size := batchBytes(b)
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*scanCacheEntry)
+		c.used += size - ent.bytes
+		ent.batch, ent.bytes = b, size
+	} else {
+		el := c.lru.PushFront(&scanCacheEntry{key: key, batch: b, bytes: size})
+		c.items[key] = el
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*scanCacheEntry)
+		c.lru.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.bytes
+	}
+}
+
+// len returns the number of cached entries (tests).
+func (c *scanCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// batchBytes estimates the in-memory size of a decoded batch.
+func batchBytes(b *vector.Batch) int64 {
+	var n int64
+	for _, c := range b.Cols {
+		n += int64(len(c.Ints))*8 + int64(len(c.Floats))*8 + int64(len(c.Bools)) +
+			int64(len(c.Nulls)) + int64(len(c.Codes))*4 + int64(len(c.Runs))*8
+		for _, s := range c.Strs {
+			n += int64(len(s)) + 16
+		}
+	}
+	return n
+}

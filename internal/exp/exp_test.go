@@ -280,6 +280,43 @@ func TestE13AvailabilityShape(t *testing.T) {
 	}
 }
 
+func TestE15VectorizedExecShape(t *testing.T) {
+	res, err := RunE15(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunE15 itself verifies every arm returns bit-identical results;
+	// here we assert the performance shape. Real-time speedups are
+	// noisy at test scale (and compressed under -race, which taxes the
+	// kernels' tight loops hardest), so thresholds are conservative;
+	// BenchmarkE15 reports the headline numbers at full scale.
+	want := 1.3
+	if raceEnabled {
+		want = 0.7
+	}
+	if res.Speedup < want {
+		t.Fatalf("kernel speedup = %.2fx, want >= %.1fx", res.Speedup, want)
+	}
+	if len(res.Scaling) != 4 {
+		t.Fatalf("scaling rows = %d", len(res.Scaling))
+	}
+	for _, r := range res.Scaling {
+		if r.Time <= 0 {
+			t.Fatalf("workers=%d time=%v", r.Workers, r.Time)
+		}
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("warm run produced no scan-cache hits")
+	}
+	if res.CacheMisses == 0 {
+		t.Fatal("cold run produced no scan-cache misses")
+	}
+	// Cache hits skip the GETs, which must show in simulated I/O time.
+	if res.CacheWarmSim >= res.CacheColdSim {
+		t.Fatalf("warm sim %v should beat cold sim %v", res.CacheWarmSim, res.CacheColdSim)
+	}
+}
+
 func TestE14RecoveryShape(t *testing.T) {
 	res, err := RunE14(1)
 	if err != nil {

@@ -218,6 +218,9 @@ func (cw *crashWorld) wire() {
 
 	eng := engine.New(w.cat, w.auth, cw.meta, w.log, w.clock, w.stores, engine.Options{
 		UseMetadataCache: true, EnableDPP: true, PruneGranularity: bigmeta.PruneFiles,
+		// Scan-cache on: crash/recovery sweeps double as validation that
+		// generation-keyed reuse never resurrects pre-crash file contents.
+		EnableScanCache: true,
 	})
 	eng.ManagedCred = w.cred
 	eng.SetMutator(mgr)

@@ -48,6 +48,10 @@ type Config struct {
 	DPP         bool
 	Granularity bigmeta.PruneGranularity
 	Faults      bool
+	// ScanCache enables the generation-keyed decoded-file cache; the
+	// matrix keeps it on everywhere so every differential query also
+	// cross-checks cached-decode reuse against the oracle.
+	ScanCache bool
 }
 
 func (c Config) String() string {
@@ -61,8 +65,8 @@ func (c Config) String() string {
 	if c.Granularity == bigmeta.PruneFiles {
 		gran = "files"
 	}
-	return fmt.Sprintf("cache=%s dpp=%s prune=%s faults=%s",
-		onOff(c.Cache), onOff(c.DPP), gran, onOff(c.Faults))
+	return fmt.Sprintf("cache=%s dpp=%s prune=%s faults=%s scancache=%s",
+		onOff(c.Cache), onOff(c.DPP), gran, onOff(c.Faults), onOff(c.ScanCache))
 }
 
 // Matrix enumerates all 16 configuration cells.
@@ -72,7 +76,7 @@ func Matrix() []Config {
 		for _, dpp := range []bool{false, true} {
 			for _, gran := range []bigmeta.PruneGranularity{bigmeta.PrunePartitionsOnly, bigmeta.PruneFiles} {
 				for _, faults := range []bool{false, true} {
-					out = append(out, Config{Cache: cache, DPP: dpp, Granularity: gran, Faults: faults})
+					out = append(out, Config{Cache: cache, DPP: dpp, Granularity: gran, Faults: faults, ScanCache: true})
 				}
 			}
 		}
@@ -175,6 +179,7 @@ func (h *harness) engineFor(cfg Config) *engine.Engine {
 		UseMetadataCache: cfg.Cache,
 		EnableDPP:        cfg.DPP,
 		PruneGranularity: cfg.Granularity,
+		EnableScanCache:  cfg.ScanCache,
 	})
 	eng.ManagedCred = h.w.cred
 	eng.SetMutator(h.w.mgr)
@@ -184,7 +189,7 @@ func (h *harness) engineFor(cfg Config) *engine.Engine {
 // defaultCell is the fault-free all-accelerations cell used for
 // bootstrap DML and minimization baselines.
 func defaultCell() Config {
-	return Config{Cache: true, DPP: true, Granularity: bigmeta.PruneFiles}
+	return Config{Cache: true, DPP: true, Granularity: bigmeta.PruneFiles, ScanCache: true}
 }
 
 // install materializes the generated tables: BigLake tables become

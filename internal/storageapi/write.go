@@ -237,7 +237,8 @@ func (s *Server) flushStreamLocked(ws *writeStream, atOffset int64) error {
 	}, map[string]bigmeta.TableDelta{
 		ws.table: {Added: []bigmeta.FileEntry{{
 			Bucket: t.Bucket, Key: key, Size: info.Size,
-			RowCount: footer.Rows, ColumnStats: stats,
+			Generation: info.Generation,
+			RowCount:   footer.Rows, ColumnStats: stats,
 		}}},
 	})
 	if err != nil {
@@ -490,7 +491,8 @@ func (s *Server) batchCommit(txnID string, streamIDs []string) error {
 		d := deltas[b.ws.table]
 		d.Added = append(d.Added, bigmeta.FileEntry{
 			Bucket: b.table.Bucket, Key: b.key, Size: info.Size,
-			RowCount: footer.Rows, ColumnStats: stats,
+			Generation: info.Generation,
+			RowCount:   footer.Rows, ColumnStats: stats,
 		})
 		deltas[b.ws.table] = d
 	}

@@ -1,0 +1,242 @@
+package vector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MorselRows is the fixed morsel size of the parallel kernels. It is a
+// constant — never derived from the worker count — so the unit of work
+// (and therefore every morsel-indexed merge order) is identical no
+// matter how many workers execute the plan. That is what makes the
+// operators deterministic: worker count changes scheduling, not
+// results.
+const MorselRows = 4096
+
+// morselCount returns the number of fixed-size morsels covering n rows.
+func morselCount(n int) int {
+	return (n + MorselRows - 1) / MorselRows
+}
+
+// morselBounds returns the [lo, hi) row range of morsel m.
+func morselBounds(m, n int) (int, int) {
+	lo := m * MorselRows
+	hi := lo + MorselRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// forMorsels fans fn out over the morsels of n rows using at most
+// `workers` goroutines. fn receives (worker, morsel, lo, hi); morsels
+// are claimed dynamically (work stealing via a shared counter), so a
+// given worker's morsel set is scheduling-dependent — callers must
+// only produce output that is indexed by morsel or commutative per
+// worker. With one worker (or one morsel) everything runs inline on
+// the calling goroutine.
+func forMorsels(n, workers int, fn func(worker, morsel, lo, hi int)) {
+	morsels := morselCount(n)
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			lo, hi := morselBounds(m, n)
+			fn(0, m, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo, hi := morselBounds(m, n)
+				fn(w, m, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelEach runs fn(i) for i in [0, n) over at most `workers`
+// goroutines; used for per-column / per-partition fan-out.
+func parallelEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// JoinKind selects the join semantics of HashJoin.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftOuterJoin
+)
+
+// JoinResult is the index-pair outcome of a hash join. Matched pairs
+// are ordered by probe (left) row, and for one probe row by build
+// (right) row ascending — exactly the order a sequential
+// build-then-probe loop produces. LeftOuter lists the probe rows with
+// no match (or a NULL key) in ascending order; it is only populated
+// for LeftOuterJoin.
+type JoinResult struct {
+	Left      []int32
+	Right     []int32
+	LeftOuter []int32
+}
+
+// HashJoin executes a typed equi-join between the key columns of two
+// batches and returns matched index pairs. The build side (right) is
+// hash-partitioned and the partition tables are built in parallel; the
+// probe side (left) is split into fixed-size morsels fanned out over
+// the worker pool, with per-morsel outputs concatenated in morsel
+// order so results are deterministic for any worker count. Rows where
+// any key column is NULL never match.
+func HashJoin(left, right *Batch, leftKeys, rightKeys []int, kind JoinKind, workers int) (JoinResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	la := make([]keyAccess, len(leftKeys))
+	ra := make([]keyAccess, len(rightKeys))
+	typesMatch := true
+	for i := range leftKeys {
+		la[i] = newKeyAccess(left.Cols[leftKeys[i]])
+		ra[i] = newKeyAccess(right.Cols[rightKeys[i]])
+		if la[i].c.Type != ra[i].c.Type {
+			// Key identity includes the logical type, so differently
+			// typed key columns (e.g. INT64 vs FLOAT64) can never
+			// produce a match — only LEFT JOIN null-extension survives.
+			typesMatch = false
+		}
+	}
+
+	var out JoinResult
+	if !typesMatch || right.N == 0 || left.N == 0 {
+		if kind == LeftOuterJoin {
+			out.LeftOuter = make([]int32, left.N)
+			for i := range out.LeftOuter {
+				out.LeftOuter[i] = int32(i)
+			}
+		}
+		return out, nil
+	}
+
+	// Hash both sides' keys (probe hashes morsel-parallel).
+	rh := make([]uint64, right.N)
+	rnull := make([]bool, right.N)
+	forMorsels(right.N, workers, func(_, _, lo, hi int) {
+		hashKeyRange(ra, rh, rnull, lo, hi)
+	})
+	lh := make([]uint64, left.N)
+	lnull := make([]bool, left.N)
+	forMorsels(left.N, workers, func(_, _, lo, hi int) {
+		hashKeyRange(la, lh, lnull, lo, hi)
+	})
+
+	// Partitioned build: scatter build rows by hash (sequential, so
+	// each partition keeps ascending row order), then build the
+	// per-partition tables in parallel.
+	nPart := 1
+	for nPart < workers {
+		nPart <<= 1
+	}
+	mask := uint64(nPart - 1)
+	partRows := make([][]int32, nPart)
+	for r := 0; r < right.N; r++ {
+		if rnull[r] {
+			continue
+		}
+		p := rh[r] & mask
+		partRows[p] = append(partRows[p], int32(r))
+	}
+	tables := make([]map[uint64][]int32, nPart)
+	parallelEach(nPart, workers, func(p int) {
+		m := make(map[uint64][]int32, len(partRows[p]))
+		for _, r := range partRows[p] {
+			h := rh[r]
+			m[h] = append(m[h], r)
+		}
+		tables[p] = m
+	})
+
+	// Morsel-parallel probe; per-morsel outputs concatenated in morsel
+	// order preserve the sequential probe order.
+	type probeOut struct {
+		left, right []int32
+		outer       []int32
+	}
+	outs := make([]probeOut, morselCount(left.N))
+	forMorsels(left.N, workers, func(_, m, lo, hi int) {
+		var po probeOut
+		for l := lo; l < hi; l++ {
+			if lnull[l] {
+				if kind == LeftOuterJoin {
+					po.outer = append(po.outer, int32(l))
+				}
+				continue
+			}
+			h := lh[l]
+			matched := false
+			for _, r := range tables[h&mask][h] {
+				if keysEq(la, l, ra, int(r)) {
+					po.left = append(po.left, int32(l))
+					po.right = append(po.right, r)
+					matched = true
+				}
+			}
+			if !matched && kind == LeftOuterJoin {
+				po.outer = append(po.outer, int32(l))
+			}
+		}
+		outs[m] = po
+	})
+
+	var nPairs, nOuter int
+	for _, po := range outs {
+		nPairs += len(po.left)
+		nOuter += len(po.outer)
+	}
+	out.Left = make([]int32, 0, nPairs)
+	out.Right = make([]int32, 0, nPairs)
+	if nOuter > 0 {
+		out.LeftOuter = make([]int32, 0, nOuter)
+	}
+	for _, po := range outs {
+		out.Left = append(out.Left, po.left...)
+		out.Right = append(out.Right, po.right...)
+		out.LeftOuter = append(out.LeftOuter, po.outer...)
+	}
+	return out, nil
+}

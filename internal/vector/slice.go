@@ -1,0 +1,166 @@
+package vector
+
+// This file holds zero-copy / typed materialization helpers used by
+// the execution engine: LIMIT as a column prefix slice instead of a
+// full gather, null-column construction for LEFT JOIN extension, and
+// a gather that treats negative indices as NULL so a join's matched
+// and null-extended rows materialize in one pass per column.
+
+// Head returns the first n rows of a column. Plain and Dict columns
+// share the underlying arrays (zero copy); RLE trims runs.
+func Head(c *Column, n int) *Column {
+	if n >= c.Len {
+		return c
+	}
+	out := &Column{Type: c.Type, Len: n, Enc: c.Enc}
+	switch c.Enc {
+	case Plain:
+		if c.Nulls != nil {
+			out.Nulls = c.Nulls[:n]
+		}
+		switch c.Type {
+		case Int64, Timestamp:
+			out.Ints = c.Ints[:n]
+		case Float64:
+			out.Floats = c.Floats[:n]
+		case Bool:
+			out.Bools = c.Bools[:n]
+		case String, Bytes:
+			out.Strs = c.Strs[:n]
+		}
+	case Dict:
+		out.Codes = c.Codes[:n]
+		out.Ints, out.Floats, out.Bools, out.Strs = c.Ints, c.Floats, c.Bools, c.Strs
+	case RLE:
+		out.Ints, out.Floats, out.Bools, out.Strs = c.Ints, c.Floats, c.Bools, c.Strs
+		left := n
+		for _, r := range c.Runs {
+			if left <= 0 {
+				break
+			}
+			if int(r.Count) > left {
+				r.Count = uint32(left)
+			}
+			out.Runs = append(out.Runs, r)
+			left -= int(r.Count)
+		}
+	}
+	return out
+}
+
+// HeadBatch returns the first n rows of a batch (zero copy for
+// Plain/Dict columns).
+func HeadBatch(b *Batch, n int) *Batch {
+	if n >= b.N {
+		return b
+	}
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = Head(c, n)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols, N: n}
+}
+
+// NullColumn returns a plain column of n NULLs of the given type,
+// with zero-valued backing arrays like the Builder would produce.
+func NullColumn(t Type, n int) *Column {
+	out := &Column{Type: t, Len: n, Enc: Plain, Nulls: make([]bool, n)}
+	for i := range out.Nulls {
+		out.Nulls[i] = true
+	}
+	switch t {
+	case Int64, Timestamp:
+		out.Ints = make([]int64, n)
+	case Float64:
+		out.Floats = make([]float64, n)
+	case Bool:
+		out.Bools = make([]bool, n)
+	case String, Bytes:
+		out.Strs = make([]string, n)
+	}
+	return out
+}
+
+// GatherNull materializes the rows at idx into a new plain column,
+// with negative indices producing NULL — the LEFT JOIN null-extension
+// path. Values are copied type-directly, without per-row boxing.
+func GatherNull(c *Column, idx []int32) *Column {
+	if c.Enc == RLE {
+		c = c.Decode()
+	}
+	n := len(idx)
+	out := &Column{Type: c.Type, Len: n, Enc: Plain}
+	var nulls []bool
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[i] = true
+	}
+	// resolve maps a source row to its value-array index, or NullIdx.
+	resolve := func(src int32) uint32 {
+		if c.Enc == Dict {
+			return c.Codes[src]
+		}
+		if c.Nulls != nil && c.Nulls[src] {
+			return NullIdx
+		}
+		return uint32(src)
+	}
+	switch c.Type {
+	case Int64, Timestamp:
+		out.Ints = make([]int64, n)
+		for i, src := range idx {
+			if src < 0 {
+				setNull(i)
+				continue
+			}
+			if vi := resolve(src); vi != NullIdx {
+				out.Ints[i] = c.Ints[vi]
+			} else {
+				setNull(i)
+			}
+		}
+	case Float64:
+		out.Floats = make([]float64, n)
+		for i, src := range idx {
+			if src < 0 {
+				setNull(i)
+				continue
+			}
+			if vi := resolve(src); vi != NullIdx {
+				out.Floats[i] = c.Floats[vi]
+			} else {
+				setNull(i)
+			}
+		}
+	case Bool:
+		out.Bools = make([]bool, n)
+		for i, src := range idx {
+			if src < 0 {
+				setNull(i)
+				continue
+			}
+			if vi := resolve(src); vi != NullIdx {
+				out.Bools[i] = c.Bools[vi]
+			} else {
+				setNull(i)
+			}
+		}
+	case String, Bytes:
+		out.Strs = make([]string, n)
+		for i, src := range idx {
+			if src < 0 {
+				setNull(i)
+				continue
+			}
+			if vi := resolve(src); vi != NullIdx {
+				out.Strs[i] = c.Strs[vi]
+			} else {
+				setNull(i)
+			}
+		}
+	}
+	out.Nulls = nulls
+	return out
+}
