@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench bench-smoke ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench bench-smoke obs ci
 
 all: build
 
@@ -58,6 +58,16 @@ fuzz-bug:
 crash:
 	$(GO) test -race -run 'TestCrashSweep' -v ./internal/oracle/
 
+# Observability gate: registry/span tests under the race detector,
+# the EXPLAIN ANALYZE goldens, the zero-alloc disabled-span benchmark,
+# and the obslint sweep that keeps new counters in the registry.
+obs:
+	$(GO) vet ./internal/obs/ ./internal/engine/
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestExplainAnalyze|TestQuerySpanTree|TestChromeTrace|TestEngineRegistryCounters' ./internal/engine/
+	$(GO) test -run '^$$' -bench BenchmarkSpanDisabled -benchtime 100000x ./internal/obs/
+	./scripts/obslint.sh
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -68,4 +78,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race chaos fuzz crash bench-smoke
+ci: vet build test race obs chaos fuzz crash bench-smoke

@@ -290,3 +290,26 @@ func BenchmarkE14Recovery(b *testing.B) {
 		b.ReportMetric(float64(last.GCBytes), "gc_bytes")
 	}
 }
+
+// BenchmarkE16Observability: trace-span attribution of the E15
+// speedup — per-stage join/aggregate gains and the scan cache's
+// sim-I/O delta, all read off the observability layer (DESIGN.md
+// experiment E16).
+func BenchmarkE16Observability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE16(400000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range res.Stages {
+			if st.Name == "join" {
+				b.ReportMetric(st.Speedup, "join_stage_x")
+			}
+			if st.Name == "aggregate" {
+				b.ReportMetric(st.Speedup, "aggregate_stage_x")
+			}
+		}
+		b.ReportMetric(float64(res.ColdScanSim.Milliseconds()), "cold_scan_sim_ms")
+		b.ReportMetric(float64(res.WarmGets), "warm_gets")
+	}
+}

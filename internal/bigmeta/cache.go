@@ -26,6 +26,7 @@ import (
 
 	"biglake/internal/colfmt"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/sim"
 	"biglake/internal/vector"
@@ -87,6 +88,7 @@ const RefreshWorkers = 16
 type Cache struct {
 	clock *sim.Clock
 	meter *sim.Meter
+	sink  obs.Sink
 
 	// Res is the retry policy for the store operations a refresh
 	// issues; a refresh that hits a transient LIST/GET fault retries
@@ -108,9 +110,23 @@ func NewCache(clock *sim.Clock, meter *sim.Meter) *Cache {
 	return &Cache{
 		clock:     clock,
 		meter:     meter,
+		sink:      meter,
 		Res:       res,
 		entries:   make(map[string][]FileEntry),
 		refreshed: make(map[string]time.Duration),
+	}
+}
+
+// UseObs tees the cache's counters into a shared registry under
+// "bigmeta."-prefixed names (legacy meter names keep working) and
+// routes refresh retry metrics under "resilience.*".
+func (c *Cache) UseObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.sink = obs.Tee(c.meter, r.Prefixed("bigmeta."))
+	if c.Res != nil {
+		c.Res.Meter = obs.Tee(c.meter, r.Prefixed("resilience."))
 	}
 }
 
@@ -205,7 +221,7 @@ func (c *Cache) Refresh(table string, store *objstore.Store, cred objstore.Crede
 	c.entries[table] = entries
 	c.refreshed[table] = c.clock.Now()
 	c.mu.Unlock()
-	c.meter.Add("cache_refreshes", 1)
+	c.sink.Add("cache_refreshes", 1)
 	return len(entries), nil
 }
 

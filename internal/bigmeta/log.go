@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"biglake/internal/crashpoint"
+	"biglake/internal/obs"
 	"biglake/internal/sim"
 )
 
@@ -97,6 +98,7 @@ type TxOptions struct {
 type Log struct {
 	clock *sim.Clock
 	meter *sim.Meter
+	msink obs.Sink
 
 	mu      sync.RWMutex
 	version int64
@@ -130,10 +132,20 @@ func NewLog(clock *sim.Clock, meter *sim.Meter) *Log {
 	return &Log{
 		clock:         clock,
 		meter:         meter,
+		msink:         meter,
 		baseline:      make(map[string][]FileEntry),
 		applied:       make(map[string]int64),
 		BaselineEvery: 64,
 	}
+}
+
+// UseObs tees the log's commit counters into a shared registry under
+// "bigmeta."-prefixed names; legacy meter names keep working.
+func (l *Log) UseObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	l.msink = obs.Tee(l.meter, r.Prefixed("bigmeta."))
 }
 
 // AttachJournal installs the durable commit sink. Commits made after
@@ -181,7 +193,7 @@ func (l *Log) CommitTx(principal string, opts TxOptions, deltas map[string]Table
 	defer l.mu.Unlock()
 	if opts.TxnID != "" {
 		if v, ok := l.applied[opts.TxnID]; ok {
-			l.meter.Add("meta_commit_replays", 1)
+			l.msink.Add("meta_commit_replays", 1)
 			return v, nil
 		}
 	}
@@ -225,7 +237,7 @@ func (l *Log) CommitTx(principal string, opts TxOptions, deltas map[string]Table
 	if opts.TxnID != "" {
 		l.applied[opts.TxnID] = rec.Version
 	}
-	l.meter.Add("meta_commits", 1)
+	l.msink.Add("meta_commits", 1)
 	if l.BaselineEvery > 0 && len(l.tail) >= l.BaselineEvery {
 		l.compactLocked()
 	}
@@ -269,7 +281,7 @@ func (l *Log) Restore(commits []TxCommit) error {
 			l.applied[c.TxnID] = c.Version
 		}
 	}
-	l.meter.Add("meta_commits_restored", int64(len(commits)))
+	l.msink.Add("meta_commits_restored", int64(len(commits)))
 	return nil
 }
 
@@ -297,7 +309,7 @@ func (l *Log) compactLocked() {
 	}
 	l.baselineVersion = l.version
 	l.tail = nil
-	l.meter.Add("meta_compactions", 1)
+	l.msink.Add("meta_compactions", 1)
 }
 
 func applyDelta(files []FileEntry, d TableDelta) []FileEntry {

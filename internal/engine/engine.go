@@ -18,6 +18,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/shuffle"
@@ -122,6 +123,14 @@ type Engine struct {
 	Shuffle *shuffle.Service
 	Meter   *sim.Meter
 	Opts    Options
+	// Obs is the unified metrics registry the engine publishes into
+	// ("engine.*" counters, "resilience.*" via the policy tee). New
+	// creates a private one; UseObs installs a shared one.
+	Obs *obs.Registry
+	// Tracer, when set, records a trace-span tree for every query that
+	// does not arrive with one already attached. Nil disables tracing
+	// at near-zero cost (nil-span fast paths).
+	Tracer *obs.Tracer
 	// Res is the retry/hedging policy applied to every object-store
 	// operation the engine issues. Nil behaves like resilience.NoRetry.
 	Res *resilience.Policy
@@ -138,6 +147,9 @@ type Engine struct {
 	tvfs    map[string]TVFFunc
 	mutator Mutator
 
+	// ec holds pre-resolved registry handles for the hot mirror path.
+	ec engCounters
+
 	// scanCache holds decoded file contents keyed by object generation;
 	// nil unless Options.EnableScanCache is set.
 	scanCache *scanCache
@@ -146,8 +158,11 @@ type Engine struct {
 // New assembles an engine.
 func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, log *bigmeta.Log, clock *sim.Clock, stores map[string]*objstore.Store, opts Options) *Engine {
 	meter := &sim.Meter{}
+	reg := obs.NewRegistry()
 	res := resilience.DefaultPolicy()
-	res.Meter = meter
+	// Retry/hedge counters land in the legacy meter under their short
+	// names and in the registry under "resilience.*".
+	res.Meter = obs.Tee(meter, reg.Prefixed("resilience."))
 	eng := &Engine{
 		Catalog: cat,
 		Auth:    auth,
@@ -157,13 +172,16 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 		Shuffle: shuffle.New(clock, nil),
 		Meter:   meter,
 		Opts:    opts,
+		Obs:     reg,
 		Res:     res,
 		Stores:  stores,
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]TVFFunc),
+		ec:      resolveEngCounters(reg),
 	}
 	if opts.EnableScanCache {
 		eng.scanCache = newScanCache(opts.ScanCacheBytes)
+		eng.scanCache.observe(eng.ec.cacheEntries, eng.ec.cacheBytes)
 	}
 	return eng
 }
@@ -238,6 +256,15 @@ type QueryContext struct {
 	// query ID when unset.
 	Budget *resilience.Budget
 	Stats  ExecStats
+	// Trace is the query's span tree. The code path that starts it owns
+	// it: Execute finishes only traces it started itself, so a caller
+	// (omni, ExplainAnalyze) that pre-attaches one keeps control of its
+	// lifetime.
+	Trace *obs.Trace
+	// Span is the current parent span; operators nest children under it
+	// and restore it on exit. Nil when tracing is off — every span call
+	// is nil-safe and allocation-free in that state.
+	Span *obs.Span
 }
 
 // NewContext builds a query context.
@@ -254,7 +281,15 @@ type Result struct {
 // Query parses and executes one SQL statement on behalf of the
 // context's principal.
 func (e *Engine) Query(ctx *QueryContext, sql string) (*Result, error) {
+	if e.ensureTrace(ctx) {
+		defer ctx.Trace.Finish()
+	}
+	var psp *obs.Span
+	if ctx.Span != nil {
+		psp = ctx.Span.Child("parse")
+	}
 	stmt, err := sqlparse.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -263,8 +298,24 @@ func (e *Engine) Query(ctx *QueryContext, sql string) (*Result, error) {
 
 // Execute runs a parsed statement.
 func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, error) {
+	owned := e.ensureTrace(ctx)
+	pre := ctx.Stats
+	parentSpan := ctx.Span
+	var exec *obs.Span
+	if parentSpan != nil {
+		exec = parentSpan.Child("execute")
+		ctx.Span = exec
+	}
 	ctx.Stats.SimStart = e.Clock.Now()
-	defer func() { ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart }()
+	defer func() {
+		ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart
+		exec.End()
+		ctx.Span = parentSpan
+		e.mirrorStats(pre, ctx.Stats)
+		if owned {
+			ctx.Trace.Finish()
+		}
+	}()
 	if ctx.Budget == nil {
 		ctx.Budget = resilience.NewBudget(e.Clock, QueryRetryBudget, resilience.Seed64(ctx.QueryID))
 	}
@@ -282,6 +333,9 @@ func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, e
 		// operation squeaked through its per-attempt check.
 		if err := ctx.Budget.CheckDeadline(e.Clock); err != nil {
 			return nil, err
+		}
+		if exec != nil {
+			exec.SetInt("rows", int64(b.N))
 		}
 		ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart
 		return &Result{Batch: b, Stats: ctx.Stats}, nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"biglake/internal/colfmt"
+	"biglake/internal/obs"
 	"biglake/internal/sqlparse"
 	"biglake/internal/vector"
 )
@@ -22,14 +23,25 @@ func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vecto
 	// Residual WHERE (pushdown is best-effort; full predicate is
 	// always enforced here).
 	if sel.Where != nil {
+		var fsp *obs.Span
+		if ctx.Span != nil {
+			fsp = ctx.Span.Child("filter")
+			fsp.SetInt("in_rows", int64(joined.N))
+		}
 		mask, err := e.evalBool(ctx, joined, sel.Where)
 		if err != nil {
+			fsp.End()
 			return nil, err
 		}
 		joined, err = vector.Filter(joined, mask)
 		if err != nil {
+			fsp.End()
 			return nil, err
 		}
+		if fsp != nil {
+			fsp.SetInt("rows", int64(joined.N))
+		}
+		fsp.End()
 	}
 
 	// Aggregation vs plain projection.
@@ -41,9 +53,31 @@ func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vecto
 	}
 	var out *vector.Batch
 	if hasAgg {
+		var asp *obs.Span
+		if ctx.Span != nil {
+			asp = ctx.Span.Child("aggregate")
+			asp.SetInt("in_rows", int64(joined.N))
+			if !e.Opts.RowAtATimeExec {
+				asp.SetInt("workers", int64(e.execWorkers()))
+			}
+		}
 		out, err = e.execAggregate(ctx, sel, joined)
+		if asp != nil && err == nil {
+			asp.SetInt("groups", int64(out.N))
+			asp.SetInt("rows", int64(out.N))
+		}
+		asp.End()
 	} else {
+		var psp *obs.Span
+		if ctx.Span != nil {
+			psp = ctx.Span.Child("project")
+			psp.SetInt("in_rows", int64(joined.N))
+		}
 		out, err = e.execProject(ctx, sel, joined)
+		if psp != nil && err == nil {
+			psp.SetInt("rows", int64(out.N))
+		}
+		psp.End()
 	}
 	if err != nil {
 		return nil, err
@@ -56,7 +90,19 @@ func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vecto
 		if sel.Limit >= 0 {
 			limit = int(sel.Limit)
 		}
+		var osp *obs.Span
+		if ctx.Span != nil {
+			osp = ctx.Span.Child("order_by")
+			osp.SetInt("in_rows", int64(out.N))
+			if limit >= 0 {
+				osp.SetInt("limit", int64(limit))
+			}
+		}
 		out, err = e.execOrderBy(ctx, sel, out, joined, limit)
+		if osp != nil && err == nil {
+			osp.SetInt("rows", int64(out.N))
+		}
+		osp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +310,24 @@ func (e *Engine) execTableRef(ctx *QueryContext, ref *sqlparse.TableRef, preds [
 
 // hashJoin executes an equi-join between left and right qualified
 // batches.
-func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlparse.Join) (*vector.Batch, error) {
+func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlparse.Join) (out *vector.Batch, err error) {
+	if ctx.Span != nil {
+		sp := ctx.Span.Child("join")
+		sp.SetInt("left_rows", int64(left.N))
+		sp.SetInt("right_rows", int64(right.N))
+		if e.Opts.RowAtATimeExec {
+			sp.SetStr("exec", "row-at-a-time")
+		} else {
+			sp.SetStr("exec", "vectorized")
+			sp.SetInt("workers", int64(e.execWorkers()))
+		}
+		defer func() {
+			if out != nil {
+				sp.SetInt("rows", int64(out.N))
+			}
+			sp.End()
+		}()
+	}
 	pairs := equiPairs(j.On)
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("%w: JOIN requires at least one column equality, got %s", ErrUnsupported, j.On)

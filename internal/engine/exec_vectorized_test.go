@@ -255,8 +255,8 @@ func TestScanCacheEviction(t *testing.T) {
 	if first.Batch.Column("n").Value(0).AsInt() != 240 {
 		t.Fatalf("count = %v", first.Batch.Row(0))
 	}
-	if ev.eng.scanCache.len() >= 12 {
-		t.Fatalf("tiny budget kept %d of 12 entries", ev.eng.scanCache.len())
+	if kept := ev.eng.Obs.Gauge("engine.scan.cache_entries").Get(); kept >= 12 {
+		t.Fatalf("tiny budget kept %d of 12 entries", kept)
 	}
 	second := ev.query(t, adminP, sql)
 	if second.Batch.Column("n").Value(0).AsInt() != 240 {

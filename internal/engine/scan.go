@@ -10,6 +10,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
@@ -21,6 +22,25 @@ import (
 // trust boundary. The returned batch carries the table's bare column
 // names.
 func (e *Engine) scanTable(ctx *QueryContext, name string, preds []colfmt.Predicate) (*vector.Batch, error) {
+	if parent := ctx.Span; parent != nil {
+		sp := parent.Child("scan " + name)
+		ctx.Span = sp
+		pre := ctx.Stats
+		defer func() {
+			sp.SetInt("files", ctx.Stats.FilesScanned-pre.FilesScanned)
+			sp.SetInt("pruned", ctx.Stats.FilesPruned-pre.FilesPruned)
+			sp.SetInt("bytes", ctx.Stats.BytesScanned-pre.BytesScanned)
+			sp.SetInt("rows", ctx.Stats.RowsScanned-pre.RowsScanned)
+			if d := ctx.Stats.CacheHits - pre.CacheHits; d > 0 {
+				sp.SetInt("cache_hits", d)
+			}
+			if d := ctx.Stats.CacheMisses - pre.CacheMisses; d > 0 {
+				sp.SetInt("cache_misses", d)
+			}
+			sp.End()
+			ctx.Span = parent
+		}()
+	}
 	t, err := e.Catalog.Table(name)
 	if err != nil {
 		return nil, err
@@ -69,23 +89,47 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 		if !ok || stale {
 			// First touch or staleness-interval expiry: rebuild the
 			// cache (normally a background maintenance task; §3.3).
-			if _, err := e.Meta.Refresh(t.FullName(), store, cred, t.Bucket, t.Prefix, bigmeta.RefreshOptions{WithFileStats: true, Background: true}); err != nil {
+			var msp *obs.Span
+			if ctx.Span != nil {
+				msp = ctx.Span.Child("meta.refresh")
+			}
+			_, err := e.Meta.Refresh(t.FullName(), store, cred, t.Bucket, t.Prefix, bigmeta.RefreshOptions{WithFileStats: true, Background: true})
+			msp.End()
+			if err != nil {
 				return nil, err
 			}
 		}
+		var psp *obs.Span
+		if ctx.Span != nil {
+			psp = ctx.Span.Child("meta.prune")
+			psp.SetInt("granularity", int64(e.Opts.PruneGranularity))
+		}
 		all, err := e.Meta.Files(t.FullName())
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		files, err = e.Meta.Prune(t.FullName(), preds, e.Opts.PruneGranularity)
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
+		psp.SetInt("files_total", int64(len(all)))
+		psp.SetInt("files_kept", int64(len(files)))
+		psp.End()
 		ctx.Stats.FilesPruned += int64(len(all) - len(files))
 	} else {
 		// Slow path: list the bucket, then peek at each file's footer
 		// to decide skippability — all on the critical path.
+		var lsp *obs.Span
+		if ctx.Span != nil {
+			lsp = ctx.Span.Child("list")
+		}
 		infos, err := resilience.ListAll(e.Res, e.Clock, ctx.Budget, store, cred, t.Bucket, t.Prefix)
+		if lsp != nil {
+			lsp.SetInt("objects", int64(len(infos)))
+		}
+		lsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -117,6 +161,12 @@ func (e *Engine) scanLakeTable(ctx *QueryContext, t catalog.Table, preds []colfm
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				tr := tracks[i%ScanWorkers]
+				var fsp *obs.Span
+				if ctx.Span != nil {
+					fsp = ctx.Span.ChildAt(tr, "footer "+key)
+					fsp.SetLane(i % ScanWorkers)
+				}
+				defer fsp.End()
 				stats, rows, err := footerPeek(e.Res, ctx.Budget, store, cred, t.Bucket, key, tr)
 				if err != nil {
 					errs <- err
@@ -259,6 +309,18 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tr := tracks[i%ScanWorkers]
+			var fsp *obs.Span
+			if ctx.Span != nil {
+				fsp = ctx.Span.ChildAt(tr, "read "+f.Key)
+				fsp.SetLane(i % ScanWorkers)
+				fsp.SetInt("bytes", f.Size)
+			}
+			defer func() {
+				if fsp != nil && results[i] != nil {
+					fsp.SetInt("rows", int64(results[i].N))
+				}
+				fsp.End()
+			}()
 
 			// Generation-keyed scan cache: an object generation pins
 			// immutable content, so a known-generation hit skips both
@@ -267,6 +329,7 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 			if e.scanCache != nil && f.Generation > 0 {
 				if full, ok := e.scanCache.get(cacheKey); ok {
 					hits[i] = true
+					fsp.SetStr("cache", "hit")
 					b, err := finishDecoded(full, filePreds, f, t)
 					if err != nil {
 						errs <- err
@@ -298,6 +361,7 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 				cacheKey.Generation = info.Generation
 				if full, ok := e.scanCache.get(cacheKey); ok {
 					hits[i] = true
+					fsp.SetStr("cache", "hit")
 					b, err := finishDecoded(full, filePreds, f, t)
 					if err != nil {
 						errs <- err
@@ -307,6 +371,7 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 					return
 				}
 				misses[i] = true
+				fsp.SetStr("cache", "miss")
 				full, err := decodeFile(data, nil)
 				if err != nil {
 					errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)

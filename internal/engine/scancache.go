@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"biglake/internal/obs"
 	"biglake/internal/vector"
 )
 
@@ -38,6 +39,19 @@ type scanCache struct {
 	used   int64
 	lru    *list.List // front = most recent; values are *scanCacheEntry
 	items  map[scanCacheKey]*list.Element
+	// entries/bytes are registry gauges mirroring occupancy (nil-safe).
+	entries *obs.Gauge
+	bytes   *obs.Gauge
+}
+
+// observe installs the registry gauges the cache keeps current.
+func (c *scanCache) observe(entries, bytes *obs.Gauge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = entries
+	c.bytes = bytes
+	entries.Set(int64(c.lru.Len()))
+	bytes.Set(c.used)
 }
 
 func newScanCache(budget int64) *scanCache {
@@ -93,13 +107,8 @@ func (c *scanCache) put(key scanCacheKey, b *vector.Batch) {
 		delete(c.items, ent.key)
 		c.used -= ent.bytes
 	}
-}
-
-// len returns the number of cached entries (tests).
-func (c *scanCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	c.entries.Set(int64(c.lru.Len()))
+	c.bytes.Set(c.used)
 }
 
 // batchBytes estimates the in-memory size of a decoded batch.

@@ -7,6 +7,7 @@ import (
 
 	"biglake/internal/engine"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/workload"
 )
@@ -72,7 +73,7 @@ func runE13Arm(scale, rounds int, rate float64, arm string) (E13Row, error) {
 	}
 	if arm == "no-retry" {
 		env.Engine.Res = resilience.NoRetry()
-		env.Engine.Res.Meter = env.Engine.Meter
+		env.Engine.Res.Meter = obs.Tee(env.Engine.Meter, env.Obs.Prefixed("resilience."))
 	}
 	queries := workload.TPCHQueries("bench")
 

@@ -20,6 +20,7 @@ import (
 	"biglake/internal/colfmt"
 	"biglake/internal/engine"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/sparkle"
@@ -30,6 +31,32 @@ import (
 
 // Admin is the harness's deployment administrator.
 const Admin = security.Principal("bench@biglake")
+
+// obsHook, when set, is invoked on every environment NewEnv builds —
+// the benchlake CLI uses it to install a shared registry and tracer
+// across all of an experiment's environments.
+var obsHook func(*Env)
+
+// SetObsHook installs (or, with nil, removes) the environment hook.
+// Not safe for concurrent use with NewEnv; the CLI sets it once per
+// experiment.
+func SetObsHook(h func(*Env)) { obsHook = h }
+
+// Observe points every component of the environment at a shared
+// registry and attaches a tracer to the engine (either may be nil).
+func (e *Env) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg != nil {
+		e.Obs = reg
+		e.Store.UseObs(reg)
+		e.Meta.UseObs(reg)
+		e.Log.UseObs(reg)
+		e.Engine.UseObs(reg)
+		e.Server.UseObs(reg)
+	}
+	if tracer != nil {
+		e.Engine.Tracer = tracer
+	}
+}
 
 // Env is one self-contained single-region environment.
 type Env struct {
@@ -43,6 +70,18 @@ type Env struct {
 	Server *storageapi.Server
 	Cred   objstore.Credential
 	WEnv   *workload.Env
+	// Obs is the environment-wide metrics registry: the engine's own
+	// registry with the object store, Big Metadata, and Storage API
+	// teed into it, so one snapshot covers the whole environment.
+	Obs *obs.Registry
+}
+
+// EnableTracing attaches a span tracer to the environment's engine and
+// returns it; subsequent queries each record a span tree.
+func (e *Env) EnableTracing(capTraces int) *obs.Tracer {
+	tr := &obs.Tracer{Cap: capTraces}
+	e.Engine.Tracer = tr
+	return tr
 }
 
 // NewEnv builds an environment with the given engine options.
@@ -68,15 +107,23 @@ func NewEnv(opts engine.Options) (*Env, error) {
 	eng.ManagedCred = cred
 	srv := storageapi.NewServer(cat, auth, meta, log, clock, stores)
 	srv.ManagedCred = cred
-	return &Env{
+	store.UseObs(eng.Obs)
+	meta.UseObs(eng.Obs)
+	log.UseObs(eng.Obs)
+	srv.UseObs(eng.Obs)
+	env := &Env{
 		Clock: clock, Store: store, Cat: cat, Auth: auth, Meta: meta, Log: log,
-		Engine: eng, Server: srv, Cred: cred,
+		Engine: eng, Server: srv, Cred: cred, Obs: eng.Obs,
 		WEnv: &workload.Env{
 			Catalog: cat, Auth: auth, Store: store, Log: log, Clock: clock,
 			Cred: cred, Connection: "conn", Bucket: "bench", Cloud: "gcp",
 			Dataset: "bench", Admin: Admin,
 		},
-	}, nil
+	}
+	if obsHook != nil {
+		obsHook(env)
+	}
+	return env, nil
 }
 
 func (e *Env) query(id, sql string) (*engine.Result, error) {

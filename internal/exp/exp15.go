@@ -73,6 +73,10 @@ func RunE15(factRows int) (E15Result, error) {
 	mkEngine := func(opts engine.Options) *engine.Engine {
 		eng := engine.New(env.Cat, env.Auth, env.Meta, env.Log, env.Clock, env.Engine.Stores, opts)
 		eng.ManagedCred = env.Cred
+		// Arm engines inherit the environment's observability so CLI
+		// tracing/metrics cover the measured runs, not just env setup.
+		eng.Tracer = env.Engine.Tracer
+		eng.UseObs(env.Obs)
 		return eng
 	}
 	run := func(eng *engine.Engine, id string) (*engine.Result, time.Duration, error) {

@@ -2,7 +2,6 @@ package objstore
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -108,13 +107,16 @@ func (r FaultRecord) String() string {
 	return fmt.Sprintf("%s %s %s/%s #%d", r.Kind, r.Op, r.Bucket, r.Key, r.Call)
 }
 
-// injector holds the mutable state behind a FaultProfile.
+// injector holds the mutable state behind a FaultProfile. Injected
+// events are published to the store registry's "objstore.faults" event
+// stream (see Registry.Events), which snapshots in canonical sorted
+// order — the same determinism contract the old FaultLog accessor
+// provided.
 type injector struct {
 	prof    FaultProfile
 	mu      sync.Mutex
 	counts  map[string]uint64 // per (op,bucket,key) call counter
 	streaks map[string]int    // forced faults remaining per stream
-	log     []FaultRecord
 }
 
 // splitmix64 finalizer: turns a structured input into uniform bits.
@@ -146,7 +148,7 @@ func roll(seed uint64, streamKey string, call, stream uint64) float64 {
 
 // decide consumes one call against the profile, returning an injected
 // error (or nil) and recording slowdown charges on ch.
-func (in *injector) decide(op Op, bucket, key string, ch sim.Charger, meter *sim.Meter) error {
+func (in *injector) decide(op Op, bucket, key string, ch sim.Charger, s *Store) error {
 	in.mu.Lock()
 	streamKey := op.String() + "|" + bucket + "|" + key
 	call := in.counts[streamKey]
@@ -154,31 +156,42 @@ func (in *injector) decide(op Op, bucket, key string, ch sim.Charger, meter *sim
 
 	if in.streaks[streamKey] > 0 {
 		in.streaks[streamKey]--
-		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
 		in.mu.Unlock()
-		meter.Add("faults_injected", 1)
+		s.recordFault(FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
 		return fmt.Errorf("%w: injected %s %s/%s call %d (streak)", ErrTransient, op, bucket, key, call)
 	}
 	if r := in.prof.rateFor(op, bucket); r > 0 && roll(in.prof.Seed, streamKey, call, 0) < r {
 		if in.prof.StreakLen > 1 {
 			in.streaks[streamKey] = in.prof.StreakLen - 1
 		}
-		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
 		in.mu.Unlock()
-		meter.Add("faults_injected", 1)
+		s.recordFault(FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "fault"})
 		return fmt.Errorf("%w: injected %s %s/%s call %d", ErrTransient, op, bucket, key, call)
 	}
 	var slow time.Duration
 	if in.prof.SlowdownRate > 0 && roll(in.prof.Seed, streamKey, call, 1) < in.prof.SlowdownRate {
 		slow = in.prof.Slowdown
-		in.log = append(in.log, FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "slowdown"})
 	}
 	in.mu.Unlock()
 	if slow > 0 {
-		meter.Add("slowdowns_injected", 1)
+		s.recordFault(FaultRecord{Op: op, Bucket: bucket, Key: key, Call: call, Kind: "slowdown"})
 		ch.Charge(slow)
 	}
 	return nil
+}
+
+// recordFault publishes one injected event: legacy meter counter,
+// registry counter, and the "objstore.faults" event stream.
+func (s *Store) recordFault(rec FaultRecord) {
+	oc := s.counters()
+	if rec.Kind == "slowdown" {
+		s.meter.Add("slowdowns_injected", 1)
+		oc.slowdowns.Add(1)
+	} else {
+		s.meter.Add("faults_injected", 1)
+		oc.faults.Add(1)
+	}
+	s.Obs().Event("objstore.faults", rec.String())
 }
 
 // InjectFaults installs a fault profile on the store, replacing any
@@ -201,23 +214,6 @@ func (s *Store) ClearFaults() {
 	s.inj = nil
 }
 
-// FaultLog returns every injected event so far, sorted into a
-// canonical order so two same-seed runs can be compared directly.
-func (s *Store) FaultLog() []FaultRecord {
-	s.mu.Lock()
-	in := s.inj
-	s.mu.Unlock()
-	if in == nil {
-		return nil
-	}
-	in.mu.Lock()
-	out := make([]FaultRecord, len(in.log))
-	copy(out, in.log)
-	in.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
-}
-
 // fault runs the injection pipeline for one data-path call: the legacy
 // FailNext one-shot counter first, then the installed profile.
 func (s *Store) fault(op Op, bucket, key string, ch sim.Charger) error {
@@ -226,12 +222,14 @@ func (s *Store) fault(op Op, bucket, key string, ch sim.Charger) error {
 		s.failures--
 		s.mu.Unlock()
 		s.meter.Add("faults_injected", 1)
+		s.counters().faults.Add(1)
 		return fmt.Errorf("%w: injected %s %s/%s (FailNext)", ErrTransient, op, bucket, key)
 	}
 	if s.failMatchN > 0 && strings.Contains(key, s.failMatch) {
 		s.failMatchN--
 		s.mu.Unlock()
 		s.meter.Add("faults_injected", 1)
+		s.counters().faults.Add(1)
 		return fmt.Errorf("%w: injected %s %s/%s (FailNextMatching %q)", ErrTransient, op, bucket, key, s.failMatch)
 	}
 	in := s.inj
@@ -239,5 +237,5 @@ func (s *Store) fault(op Op, bucket, key string, ch sim.Charger) error {
 	if in == nil {
 		return nil
 	}
-	return in.decide(op, bucket, key, ch, s.meter)
+	return in.decide(op, bucket, key, ch, s)
 }

@@ -3,13 +3,14 @@ package objstore
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
 
 // chaosWorkload runs a fixed call pattern against a store and returns
-// the sorted fault log.
-func chaosWorkload(t *testing.T, st *Store, cred Credential) []FaultRecord {
+// the canonically sorted fault event stream from the store registry.
+func chaosWorkload(t *testing.T, st *Store, cred Credential) []string {
 	t.Helper()
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("w/k%02d", i)
@@ -20,12 +21,12 @@ func chaosWorkload(t *testing.T, st *Store, cred Credential) []FaultRecord {
 		st.Head(cred, "b", key)
 	}
 	st.ListAll(cred, "b", "w/")
-	return st.FaultLog()
+	return st.Obs().Events("objstore.faults")
 }
 
 func TestFaultInjectionDeterministicAcrossRuns(t *testing.T) {
 	prof := FaultProfile{Seed: 42, Rate: 0.2, SlowdownRate: 0.1, Slowdown: 50 * time.Millisecond}
-	var logs [2][]FaultRecord
+	var logs [2][]string
 	for run := 0; run < 2; run++ {
 		st, cred := newTestStore()
 		st.InjectFaults(prof)
@@ -150,8 +151,12 @@ func TestSlowdownChargesSimulatedTime(t *testing.T) {
 	if st.Meter().Get("slowdowns_injected") != 1 {
 		t.Fatal("slowdown not metered")
 	}
-	if len(st.FaultLog()) != 1 || st.FaultLog()[0].Kind != "slowdown" {
-		t.Fatalf("fault log = %v", st.FaultLog())
+	if st.Obs().Get("objstore.slowdowns.injected") != 1 {
+		t.Fatal("slowdown not in registry")
+	}
+	evs := st.Obs().Events("objstore.faults")
+	if len(evs) != 1 || !strings.HasPrefix(evs[0], "slowdown") {
+		t.Fatalf("fault events = %v", evs)
 	}
 }
 
@@ -169,8 +174,11 @@ func TestFailNextFiresBeforeProfile(t *testing.T) {
 	if st.Meter().Get("faults_injected") != 1 {
 		t.Fatal("FailNext fault not metered")
 	}
+	if st.Obs().Get("objstore.faults.injected") != 1 {
+		t.Fatal("FailNext fault not in registry")
+	}
 	st.ClearFaults()
-	if got := st.FaultLog(); got != nil {
-		t.Fatalf("cleared store should report no log, got %v", got)
+	if got := st.Obs().Events("objstore.faults"); got != nil {
+		t.Fatalf("no profile events expected, got %v", got)
 	}
 }

@@ -26,8 +26,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"biglake/internal/obs"
 	"biglake/internal/sim"
 )
 
@@ -139,15 +141,43 @@ type Store struct {
 	profile sim.CloudProfile
 	clock   *sim.Clock
 	meter   *sim.Meter
+	obs     atomic.Pointer[obs.Registry]
+	oc      atomic.Pointer[storeCounters]
 
-	mu        sync.Mutex
-	buckets   map[string]*bucket
-	urls      map[string]signedGrant
-	urlSeq    int64
-	failures  int64
-	failMatch string
+	mu         sync.Mutex
+	buckets    map[string]*bucket
+	urls       map[string]signedGrant
+	urlSeq     int64
+	failures   int64
+	failMatch  string
 	failMatchN int64
-	inj       *injector
+	inj        *injector
+}
+
+// storeCounters holds the store's pre-resolved registry counters so the
+// data path pays one atomic add per metric, never a map lookup.
+type storeCounters struct {
+	getCount, getBytes   *obs.Counter
+	putCount, putBytes   *obs.Counter
+	listCount, headCount *obs.Counter
+	deleteCount          *obs.Counter
+	preconditionFailures *obs.Counter
+	faults, slowdowns    *obs.Counter
+}
+
+func resolveStoreCounters(r *obs.Registry) *storeCounters {
+	return &storeCounters{
+		getCount:             r.Counter("objstore.get.count"),
+		getBytes:             r.Counter("objstore.get.bytes"),
+		putCount:             r.Counter("objstore.put.count"),
+		putBytes:             r.Counter("objstore.put.bytes"),
+		listCount:            r.Counter("objstore.list.count"),
+		headCount:            r.Counter("objstore.head.count"),
+		deleteCount:          r.Counter("objstore.delete.count"),
+		preconditionFailures: r.Counter("objstore.precondition_failures"),
+		faults:               r.Counter("objstore.faults.injected"),
+		slowdowns:            r.Counter("objstore.slowdowns.injected"),
+	}
 }
 
 // FailNext injects transient failures into the next n data-path
@@ -184,13 +214,17 @@ func New(profile sim.CloudProfile, clock *sim.Clock, meter *sim.Meter) *Store {
 	if meter == nil {
 		meter = &sim.Meter{}
 	}
-	return &Store{
+	s := &Store{
 		profile: profile,
 		clock:   clock,
 		meter:   meter,
 		buckets: make(map[string]*bucket),
 		urls:    make(map[string]signedGrant),
 	}
+	reg := obs.NewRegistry()
+	s.obs.Store(reg)
+	s.oc.Store(resolveStoreCounters(reg))
+	return s
 }
 
 // Profile returns the cloud profile the store was built with.
@@ -201,6 +235,25 @@ func (s *Store) Clock() *sim.Clock { return s.clock }
 
 // Meter returns the store's request/byte meter.
 func (s *Store) Meter() *sim.Meter { return s.meter }
+
+// Obs returns the store's metrics registry (per-op counters under
+// "objstore.*" plus the "objstore.faults" event stream).
+func (s *Store) Obs() *obs.Registry { return s.obs.Load() }
+
+// UseObs points the store at a shared registry — experiments install
+// one registry across engine, store, and metadata so one snapshot
+// covers the whole query path. The swap is atomic so it is safe even
+// with data-path traffic in flight.
+func (s *Store) UseObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.obs.Store(r)
+	s.oc.Store(resolveStoreCounters(r))
+}
+
+// counters returns the current pre-resolved registry handles.
+func (s *Store) counters() *storeCounters { return s.oc.Load() }
 
 // CreateBucket creates a bucket owned by the credential's principal.
 func (s *Store) CreateBucket(cred Credential, name string) error {
@@ -290,6 +343,9 @@ func (s *Store) put(cred Credential, bucketName, key string, data []byte, conten
 			s.mu.Unlock()
 			s.meter.Add("requests", 1)
 			s.meter.Add("precondition_failures", 1)
+			oc := s.counters()
+			oc.putCount.Add(1)
+			oc.preconditionFailures.Add(1)
 			// A failed conditional PUT still costs a round trip.
 			s.clock.Advance(s.profile.PutOverhead)
 			return ObjectInfo{}, fmt.Errorf("%w: have gen %d, want %d", ErrPreconditionFail, curGen, ifGeneration)
@@ -338,6 +394,9 @@ func (s *Store) put(cred Credential, bucketName, key string, data []byte, conten
 
 	s.meter.Add("requests", 1)
 	s.meter.Add("put_bytes", int64(len(data)))
+	oc := s.counters()
+	oc.putCount.Add(1)
+	oc.putBytes.Add(int64(len(data)))
 	s.clock.Advance(s.profile.PutOverhead + sim.StreamTime(int64(len(data)), s.profile.WritePerMB))
 	return info, nil
 }
@@ -383,6 +442,7 @@ func (s *Store) getRange(ch sim.Charger, cred Credential, bucketName, key string
 	if !ok {
 		s.mu.Unlock()
 		s.meter.Add("requests", 1)
+		s.counters().getCount.Add(1)
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s/%s", ErrNoSuchObject, bucketName, key)
 	}
 	if offset < 0 {
@@ -402,6 +462,9 @@ func (s *Store) getRange(ch sim.Charger, cred Credential, bucketName, key string
 
 	s.meter.Add("requests", 1)
 	s.meter.Add("get_bytes", int64(len(data)))
+	oc := s.counters()
+	oc.getCount.Add(1)
+	oc.getBytes.Add(int64(len(data)))
 	ch.Charge(s.profile.GetFirstByte + sim.StreamTime(int64(len(data)), s.profile.ReadPerMB))
 	return data, info, nil
 }
@@ -430,11 +493,13 @@ func (s *Store) HeadOn(ch sim.Charger, cred Credential, bucketName, key string) 
 	if !ok {
 		s.mu.Unlock()
 		s.meter.Add("requests", 1)
+		s.counters().headCount.Add(1)
 		return ObjectInfo{}, fmt.Errorf("%w: %s/%s", ErrNoSuchObject, bucketName, key)
 	}
 	info := obj.info
 	s.mu.Unlock()
 	s.meter.Add("requests", 1)
+	s.counters().headCount.Add(1)
 	ch.Charge(s.profile.HeadLatency)
 	return info, nil
 }
@@ -464,6 +529,7 @@ func (s *Store) Delete(cred Credential, bucketName, key string) error {
 	b.keysDirty = true
 	s.mu.Unlock()
 	s.meter.Add("requests", 1)
+	s.counters().deleteCount.Add(1)
 	s.clock.Advance(s.profile.DeleteLatency)
 	return nil
 }
@@ -525,6 +591,7 @@ func (s *Store) ListOn(ch sim.Charger, cred Credential, bucketName, prefix, page
 
 	s.meter.Add("requests", 1)
 	s.meter.Add("list_pages", 1)
+	s.counters().listCount.Add(1)
 	ch.Charge(s.profile.ListPageLatency)
 	return page, nil
 }
@@ -593,6 +660,9 @@ func (s *Store) Fetch(url string) ([]byte, ObjectInfo, error) {
 	s.mu.Unlock()
 	s.meter.Add("requests", 1)
 	s.meter.Add("get_bytes", int64(len(data)))
+	oc := s.counters()
+	oc.getCount.Add(1)
+	oc.getBytes.Add(int64(len(data)))
 	s.clock.Advance(s.profile.GetFirstByte + sim.StreamTime(int64(len(data)), s.profile.ReadPerMB))
 	return data, info, nil
 }

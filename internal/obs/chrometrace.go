@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one Chrome-trace (catapult) "complete" event. The
+// format is the JSON array form consumed by chrome://tracing and
+// Perfetto: ph "X" events with microsecond ts/dur.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders traces as a Chrome-trace JSON array. Each trace
+// becomes one "process" (pid = its 1-based index, labelled with the
+// query ID); span lanes map to thread IDs so parallel scan workers
+// render as parallel tracks. Timestamps are the spans' simulated
+// times in microseconds.
+func ChromeTrace(traces ...*Trace) ([]byte, error) {
+	events := []chromeEvent{}
+	for i, t := range traces {
+		root := t.Root()
+		if root == nil {
+			continue
+		}
+		pid := i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]string{"name": t.QueryID},
+		})
+		root.Walk(func(s *Span) {
+			ev := chromeEvent{
+				Name: s.Name(),
+				Cat:  t.QueryID,
+				Ph:   "X",
+				Ts:   float64(s.Start()) / float64(time.Microsecond),
+				Dur:  float64(s.SimDuration()) / float64(time.Microsecond),
+				Pid:  pid,
+				Tid:  s.Lane() + 1,
+			}
+			attrs := s.Attrs()
+			if wall := s.WallDuration(); wall > 0 || len(attrs) > 0 {
+				ev.Args = map[string]string{}
+				if wall > 0 {
+					ev.Args["wall"] = wall.String()
+				}
+				for _, a := range attrs {
+					if a.IsStr {
+						ev.Args[a.Key] = a.Str
+					} else {
+						ev.Args[a.Key] = strconv.FormatInt(a.Int, 10)
+					}
+				}
+			}
+			events = append(events, ev)
+		})
+	}
+	return json.Marshal(events)
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Profile is the EXPLAIN ANALYZE view of one trace: the span tree
+// annotated with per-operator rows/bytes/time and dominant-cost
+// highlighting, rendered as text (for terminals) or JSON (for tools).
+type Profile struct {
+	QueryID  string        `json:"query_id"`
+	SimTime  time.Duration `json:"sim_time_ns"`
+	WallTime time.Duration `json:"wall_time_ns"`
+	Root     *ProfileNode  `json:"root"`
+}
+
+// ProfileNode is one operator (span) of the profile.
+type ProfileNode struct {
+	Name string `json:"name"`
+	// Simulated time: what the cloud cost model charged under this
+	// operator (I/O latency, egress, backoff).
+	SimStart time.Duration `json:"sim_start_ns"`
+	SimTime  time.Duration `json:"sim_time_ns"`
+	// SimSelf is SimTime minus the union of child intervals — the
+	// operator's own charge, not double-counting overlapped children.
+	SimSelf time.Duration `json:"sim_self_ns"`
+	// Wall time: real CPU-bound cost (vectorized kernels).
+	WallTime time.Duration     `json:"wall_time_ns"`
+	Rows     int64             `json:"rows,omitempty"`
+	Bytes    int64             `json:"bytes,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	// Dominant marks the most expensive child among its siblings (by
+	// sim time when the parent is sim-bound, else by wall time).
+	Dominant bool           `json:"dominant,omitempty"`
+	Children []*ProfileNode `json:"children,omitempty"`
+}
+
+// BuildProfile converts a (finished) trace into a profile tree.
+func BuildProfile(t *Trace) *Profile {
+	root := t.Root()
+	if root == nil {
+		return nil
+	}
+	p := &Profile{
+		QueryID:  t.QueryID,
+		SimTime:  root.SimDuration(),
+		WallTime: root.WallDuration(),
+		Root:     buildNode(root),
+	}
+	markDominant(p.Root)
+	return p
+}
+
+func buildNode(s *Span) *ProfileNode {
+	n := &ProfileNode{
+		Name:     s.Name(),
+		SimStart: s.Start(),
+		SimTime:  s.SimDuration(),
+		WallTime: s.WallDuration(),
+	}
+	for _, a := range s.Attrs() {
+		switch {
+		case a.Key == "rows" && !a.IsStr:
+			n.Rows = a.Int
+		case a.Key == "bytes" && !a.IsStr:
+			n.Bytes = a.Int
+		default:
+			if n.Attrs == nil {
+				n.Attrs = map[string]string{}
+			}
+			if a.IsStr {
+				n.Attrs[a.Key] = a.Str
+			} else {
+				n.Attrs[a.Key] = fmt.Sprintf("%d", a.Int)
+			}
+		}
+	}
+	kids := s.Children()
+	for _, c := range kids {
+		n.Children = append(n.Children, buildNode(c))
+	}
+	n.SimSelf = n.SimTime - childUnion(n)
+	if n.SimSelf < 0 {
+		n.SimSelf = 0
+	}
+	return n
+}
+
+// childUnion measures the union of child sim intervals, clipped to the
+// parent: parallel scan workers overlap, so summing child durations
+// would overcount.
+func childUnion(n *ProfileNode) time.Duration {
+	type iv struct{ a, b time.Duration }
+	var ivs []iv
+	for _, c := range n.Children {
+		a, b := c.SimStart, c.SimStart+c.SimTime
+		if a < n.SimStart {
+			a = n.SimStart
+		}
+		if end := n.SimStart + n.SimTime; b > end {
+			b = end
+		}
+		if b > a {
+			ivs = append(ivs, iv{a, b})
+		}
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].a < ivs[j-1].a; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	var total time.Duration
+	cur := ivs[0]
+	for _, v := range ivs[1:] {
+		if v.a <= cur.b {
+			if v.b > cur.b {
+				cur.b = v.b
+			}
+			continue
+		}
+		total += cur.b - cur.a
+		cur = v
+	}
+	total += cur.b - cur.a
+	return total
+}
+
+// markDominant flags, within every sibling group, the child carrying
+// the largest cost — sim time if any child charged sim time, wall time
+// otherwise (pure-CPU subtrees).
+func markDominant(n *ProfileNode) {
+	if n == nil || len(n.Children) == 0 {
+		return
+	}
+	simBound := false
+	for _, c := range n.Children {
+		if c.SimTime > 0 {
+			simBound = true
+		}
+	}
+	best := -1
+	var bestCost time.Duration
+	for i, c := range n.Children {
+		cost := c.WallTime
+		if simBound {
+			cost = c.SimTime
+		}
+		if cost > bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best >= 0 && bestCost > 0 {
+		n.Children[best].Dominant = true
+	}
+	for _, c := range n.Children {
+		markDominant(c)
+	}
+}
+
+// Text renders the profile as an indented operator tree with per-node
+// sim/wall time, percentage of the query total, rows/bytes, and a "*"
+// marker on each dominant child.
+func (p *Profile) Text() string {
+	if p == nil {
+		return "(no profile)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXPLAIN ANALYZE %s  sim=%v wall=%v\n", p.QueryID, p.SimTime, p.WallTime)
+	var render func(n *ProfileNode, depth int)
+	render = func(n *ProfileNode, depth int) {
+		mark := " "
+		if n.Dominant {
+			mark = "*"
+		}
+		pct := 0.0
+		if p.SimTime > 0 {
+			pct = 100 * float64(n.SimTime) / float64(p.SimTime)
+		} else if p.WallTime > 0 {
+			pct = 100 * float64(n.WallTime) / float64(p.WallTime)
+		}
+		fmt.Fprintf(&sb, "%s%s%s  sim=%v self=%v wall=%v (%.1f%%)", strings.Repeat("  ", depth), mark, n.Name, n.SimTime, n.SimSelf, n.WallTime, pct)
+		if n.Rows > 0 {
+			fmt.Fprintf(&sb, " rows=%d", n.Rows)
+		}
+		if n.Bytes > 0 {
+			fmt.Fprintf(&sb, " bytes=%d", n.Bytes)
+		}
+		for _, k := range sortedKeys(n.Attrs) {
+			fmt.Fprintf(&sb, " %s=%s", k, n.Attrs[k])
+		}
+		sb.WriteString("\n")
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	render(p.Root, 0)
+	return sb.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// JSON renders the profile as indented JSON.
+func (p *Profile) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}

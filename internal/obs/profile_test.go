@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSampleTrace makes a two-operator trace: a sim-dominated scan
+// with two overlapping file reads and a wall-only join.
+func buildSampleTrace() (*Trace, *fakeClock) {
+	clock := &fakeClock{}
+	tr := NewTrace("q-profile", clock)
+	root := tr.Root()
+
+	scan := root.Child("scan t")
+	w1 := &fakeClock{now: clock.Now()}
+	w2 := &fakeClock{now: clock.Now()}
+	f1 := scan.ChildAt(w1, "file a")
+	f1.SetLane(0)
+	f1.SetInt("bytes", 1000)
+	w1.advance(10 * time.Millisecond)
+	f1.End()
+	f2 := scan.ChildAt(w2, "file b")
+	f2.SetLane(1)
+	f2.SetInt("bytes", 2000)
+	w2.advance(6 * time.Millisecond)
+	f2.End()
+	clock.advance(10 * time.Millisecond) // join of the worker frontiers
+	scan.SetInt("rows", 500)
+	scan.End()
+
+	join := root.Child("join")
+	join.SetInt("rows", 500)
+	join.End() // zero sim time: pure CPU
+	tr.Finish()
+	return tr, clock
+}
+
+func TestBuildProfile(t *testing.T) {
+	tr, _ := buildSampleTrace()
+	p := BuildProfile(tr)
+	if p == nil || p.Root == nil {
+		t.Fatal("nil profile")
+	}
+	if p.SimTime != 10*time.Millisecond {
+		t.Fatalf("profile sim time %v, want 10ms", p.SimTime)
+	}
+	var scan *ProfileNode
+	for _, c := range p.Root.Children {
+		if strings.HasPrefix(c.Name, "scan") {
+			scan = c
+		}
+	}
+	if scan == nil {
+		t.Fatal("no scan node")
+	}
+	if !scan.Dominant {
+		t.Fatal("scan (the only sim-charged child) must be dominant")
+	}
+	if scan.Rows != 500 {
+		t.Fatalf("scan rows %d", scan.Rows)
+	}
+	// The two file reads overlap 0–10ms and 0–6ms: the union is 10ms,
+	// so the scan's self time is 0, not 10-16 clamped.
+	if scan.SimSelf != 0 {
+		t.Fatalf("scan self %v, want 0 (children cover the interval)", scan.SimSelf)
+	}
+	var fileBytes int64
+	for _, f := range scan.Children {
+		fileBytes += f.Bytes
+	}
+	if fileBytes != 3000 {
+		t.Fatalf("file bytes %d", fileBytes)
+	}
+
+	text := p.Text()
+	for _, want := range []string{"EXPLAIN ANALYZE q-profile", "scan t", "join", "rows=500", "*scan"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text render missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := p.JSON(); err != nil {
+		t.Fatalf("json render: %v", err)
+	}
+}
+
+// TestChromeTraceValid asserts the exporter emits a valid Chrome-trace
+// JSON array of ph/ts/dur events — the acceptance shape Perfetto
+// loads.
+func TestChromeTraceValid(t *testing.T) {
+	tr, _ := buildSampleTrace()
+	data, err := ChromeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	var complete int
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		if ph == "M" {
+			continue // process-name metadata
+		}
+		if ph != "X" {
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+		complete++
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event missing numeric ts: %v", ev)
+		}
+		if _, ok := ev["dur"].(float64); !ok {
+			t.Fatalf("event missing numeric dur: %v", ev)
+		}
+		if name, _ := ev["name"].(string); name == "" {
+			t.Fatalf("event missing name: %v", ev)
+		}
+	}
+	// root + scan + 2 files + join
+	if complete != 5 {
+		t.Fatalf("complete events = %d, want 5", complete)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	data, err := ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty export = %s, want []", data)
+	}
+}

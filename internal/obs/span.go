@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the simulated time source spans read. Both *sim.Clock and
+// *sim.Track satisfy it (the engine's parallel scan workers time their
+// spans on their own track frontier). Declared here so obs depends on
+// nothing above the standard library.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Attr is one span attribute: an integer (rows, bytes, generation) or
+// a string (table name, cache hit/miss). A small struct slice beats a
+// map: attribute sets are tiny and append-only.
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// Span is one timed node of a query's trace tree. It records both
+// simulated time (what the cloud cost model charges — I/O, latency,
+// egress) and real wall time (what the CPU-bound vectorized kernels
+// actually cost), because the two diverge by design: a scan is
+// sim-dominated, a hash join is wall-dominated.
+//
+// Every method is nil-safe: with tracing disabled the engine threads a
+// nil *Span through the whole lifecycle and no allocation or time
+// lookup ever happens. Callers that build dynamic span names must
+// guard the construction itself (`if sp != nil`) so the name string is
+// not allocated on the disabled path.
+type Span struct {
+	name  string
+	clock Clock
+	lane  int
+
+	start  time.Duration // simulated
+	wstart time.Time     // wall
+
+	mu       sync.Mutex
+	ended    bool
+	end      time.Duration // simulated
+	wdur     time.Duration // wall
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string, c Clock, lane int) *Span {
+	sp := &Span{name: name, clock: c, lane: lane, wstart: time.Now()}
+	if c != nil {
+		sp.start = c.Now()
+	}
+	return sp
+}
+
+// Child opens a sub-span timed on the parent's clock and lane.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, s.clock, s.lane)
+}
+
+// ChildAt opens a sub-span timed on a different clock — a parallel
+// worker's sim.Track — so per-file scan spans start and end on the
+// frontier that actually paid their latency.
+func (s *Span) ChildAt(c Clock, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, c, s.lane)
+}
+
+func (s *Span) child(name string, c Clock, lane int) *Span {
+	sp := newSpan(name, c, lane)
+	s.mu.Lock()
+	s.children = append(s.children, sp)
+	s.mu.Unlock()
+	return sp
+}
+
+// SetLane tags the span with a worker-lane index; the Chrome-trace
+// exporter maps lanes to threads so parallel file reads render as
+// parallel tracks instead of one overlapping pile.
+func (s *Span) SetLane(lane int) {
+	if s != nil {
+		s.lane = lane
+	}
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
+	s.mu.Unlock()
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+	s.mu.Unlock()
+}
+
+// End closes the span at its clock's current frontier. The end time is
+// clamped so the span always contains its children and never precedes
+// its own start — parallel worker tracks can run ahead of the global
+// clock until the scan joins them, and the invariant "children nest
+// within the parent's bounds" is what the profile renderer and the
+// span-tree tests rely on.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var now time.Duration
+	if s.clock != nil {
+		now = s.clock.Now()
+	}
+	wd := time.Since(s.wstart)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = s.clampEndLocked(now)
+	s.wdur = wd
+	s.mu.Unlock()
+}
+
+// clampEndLocked returns the effective end: at least the start, at
+// least every (ended) child's end. Callers hold s.mu.
+func (s *Span) clampEndLocked(end time.Duration) time.Duration {
+	if end < s.start {
+		end = s.start
+	}
+	for _, c := range s.children {
+		c.mu.Lock()
+		cEnd, cDone := c.end, c.ended
+		c.mu.Unlock()
+		if cDone && cEnd > end {
+			end = cEnd
+		}
+	}
+	return end
+}
+
+// finish force-ends the span and every descendant, bottom-up, so a
+// trace never leaks unended spans (a query error path may unwind past
+// an End call). Already-ended spans are untouched.
+func (s *Span) finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.finish()
+	}
+	s.End()
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Lane returns the worker-lane tag.
+func (s *Span) Lane() int {
+	if s == nil {
+		return 0
+	}
+	return s.lane
+}
+
+// Start returns the simulated start time.
+func (s *Span) Start() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// EndTime returns the simulated end time (start if unended).
+func (s *Span) EndTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return s.start
+	}
+	return s.end
+}
+
+// SimDuration returns the simulated duration (0 if unended).
+func (s *Span) SimDuration() time.Duration { return s.EndTime() - s.Start() }
+
+// WallDuration returns the real elapsed duration (0 if unended).
+func (s *Span) WallDuration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wdur
+}
+
+// Ended reports whether End has run.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Attrs returns a copy of the attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// IntAttr returns the last value of an integer attribute (0, false if
+// absent).
+func (s *Span) IntAttr(key string) (int64, bool) {
+	var v int64
+	var ok bool
+	for _, a := range s.Attrs() {
+		if a.Key == key && !a.IsStr {
+			v, ok = a.Int, true
+		}
+	}
+	return v, ok
+}
+
+// StrAttr returns the last value of a string attribute.
+func (s *Span) StrAttr(key string) (string, bool) {
+	var v string
+	var ok bool
+	for _, a := range s.Attrs() {
+		if a.Key == key && a.IsStr {
+			v, ok = a.Str, true
+		}
+	}
+	return v, ok
+}
+
+// Children returns a copy of the child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and every descendant, depth-first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children() {
+		c.Walk(fn)
+	}
+}
+
+// Trace is one query's span tree.
+type Trace struct {
+	QueryID string
+	root    *Span
+}
+
+// NewTrace starts a trace whose root span ("query") is timed on c.
+func NewTrace(queryID string, c Clock) *Trace {
+	return &Trace{QueryID: queryID, root: newSpan("query", c, 0)}
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish force-ends every unended span bottom-up. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.finish()
+}
+
+// Spans returns every span of the tree, depth-first.
+func (t *Trace) Spans() []*Span {
+	var out []*Span
+	t.Root().Walk(func(s *Span) { out = append(out, s) })
+	return out
+}
+
+// Find returns every span with the given name.
+func (t *Trace) Find(name string) []*Span {
+	var out []*Span
+	t.Root().Walk(func(s *Span) {
+		if s.Name() == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// Tracer collects completed traces. A nil *Tracer disables tracing:
+// Start returns a nil *Trace whose nil root span turns every
+// downstream instrumentation call into a no-op.
+type Tracer struct {
+	// Cap bounds retained traces (0 = unlimited): long soaks like the
+	// differential fuzzer keep the most recent Cap traces.
+	Cap int
+
+	mu     sync.Mutex
+	traces []*Trace
+}
+
+// Start opens and records a new trace.
+func (tr *Tracer) Start(queryID string, c Clock) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := NewTrace(queryID, c)
+	tr.mu.Lock()
+	tr.traces = append(tr.traces, t)
+	if tr.Cap > 0 && len(tr.traces) > tr.Cap {
+		tr.traces = tr.traces[len(tr.traces)-tr.Cap:]
+	}
+	tr.mu.Unlock()
+	return t
+}
+
+// Traces returns a copy of the retained traces, oldest first.
+func (tr *Tracer) Traces() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Trace(nil), tr.traces...)
+}
+
+// Last returns the most recent trace (nil if none).
+func (tr *Tracer) Last() *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.traces) == 0 {
+		return nil
+	}
+	return tr.traces[len(tr.traces)-1]
+}
+
+// Reset drops every retained trace.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.traces = nil
+	tr.mu.Unlock()
+}

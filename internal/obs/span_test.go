@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable Clock; tests drive it like sim.Clock tracks.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// TestSpanTreeInvariants builds a tree with parallel "worker" clocks
+// running ahead of the parent clock and asserts, after Finish: every
+// span is ended, and every child nests within its parent's sim-time
+// bounds — including the case where a worker frontier outran the
+// parent's clock at End time.
+func TestSpanTreeInvariants(t *testing.T) {
+	clock := &fakeClock{}
+	tr := &Tracer{}
+	trace := tr.Start("q1", clock)
+	root := trace.Root()
+
+	scan := root.Child("scan")
+	var wg sync.WaitGroup
+	workers := make([]*fakeClock, 4)
+	for i := range workers {
+		workers[i] = &fakeClock{now: clock.Now()}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := workers[i]
+			sp := scan.ChildAt(w, "file")
+			sp.SetLane(i)
+			sp.SetInt("bytes", int64(100*i))
+			w.advance(time.Duration(i+1) * 10 * time.Millisecond)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	// The global clock lags the worker frontiers; scan.End must clamp
+	// its end up to the latest child.
+	scan.End()
+
+	join := root.Child("join")
+	clock.advance(5 * time.Millisecond)
+	// join deliberately not ended: Finish must close it.
+	_ = join
+
+	orphanCheck := map[*Span]bool{}
+	trace.Finish()
+
+	for _, s := range trace.Spans() {
+		if !s.Ended() {
+			t.Fatalf("span %q not ended after Finish", s.Name())
+		}
+		orphanCheck[s] = true
+	}
+	// No orphans: every span reachable from a parent is in the tree
+	// (membership check via Children walk must cover Spans()).
+	if len(orphanCheck) != 1+1+4+1 { // root + scan + 4 files + join
+		t.Fatalf("span count = %d, want 7", len(orphanCheck))
+	}
+	var checkNesting func(p *Span)
+	checkNesting = func(p *Span) {
+		for _, c := range p.Children() {
+			if c.Start() < p.Start() {
+				t.Fatalf("child %q starts %v before parent %q start %v", c.Name(), c.Start(), p.Name(), p.Start())
+			}
+			if c.EndTime() > p.EndTime() {
+				t.Fatalf("child %q ends %v after parent %q end %v", c.Name(), c.EndTime(), p.Name(), p.EndTime())
+			}
+			checkNesting(c)
+		}
+	}
+	checkNesting(root)
+
+	// The slowest worker ran to 40ms; scan and root must contain it.
+	if scan.EndTime() < 40*time.Millisecond {
+		t.Fatalf("scan end %v does not contain slowest worker (40ms)", scan.EndTime())
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTrace("q", c)
+	sp := tr.Root().Child("op")
+	sp.SetInt("rows", 10)
+	sp.SetStr("cache", "hit")
+	sp.SetInt("rows", 42) // last write wins on read
+	if v, ok := sp.IntAttr("rows"); !ok || v != 42 {
+		t.Fatalf("rows attr = %d,%v", v, ok)
+	}
+	if v, ok := sp.StrAttr("cache"); !ok || v != "hit" {
+		t.Fatalf("cache attr = %q,%v", v, ok)
+	}
+	if _, ok := sp.IntAttr("missing"); ok {
+		t.Fatal("missing attr found")
+	}
+}
+
+// TestNilSpanNoOps covers the disabled path: a nil tracer yields a nil
+// trace/span tree on which the full instrumentation surface is a
+// no-op.
+func TestNilSpanNoOps(t *testing.T) {
+	var tr *Tracer
+	trace := tr.Start("q", &fakeClock{})
+	if trace != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	sp := trace.Root()
+	if sp != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	c := sp.Child("x")
+	c.SetInt("rows", 1)
+	c.SetStr("k", "v")
+	c.SetLane(3)
+	c.End()
+	trace.Finish()
+	if got := c.SimDuration(); got != 0 {
+		t.Fatalf("nil span duration %v", got)
+	}
+	if tr.Last() != nil || tr.Traces() != nil {
+		t.Fatal("nil tracer retained traces")
+	}
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := &Tracer{Cap: 3}
+	c := &fakeClock{}
+	for i := 0; i < 10; i++ {
+		tr.Start("q", c)
+	}
+	if got := len(tr.Traces()); got != 3 {
+		t.Fatalf("retained %d traces, want 3", got)
+	}
+}
+
+// BenchmarkSpanDisabled is the acceptance benchmark: with tracing
+// disabled (nil span, the state the hot morsel loop sees), span calls
+// must not allocate.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sp.Child("file")
+		c.SetInt("rows", int64(i))
+		c.SetStr("cache", "miss")
+		c.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the reference cost with tracing on; not a
+// gate, just keeps the enabled overhead visible in bench output.
+func BenchmarkSpanEnabled(b *testing.B) {
+	clock := &fakeClock{}
+	tr := NewTrace("bench", clock)
+	root := tr.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("file")
+		c.SetInt("rows", int64(i))
+		c.End()
+	}
+}
+
+func TestSpanDisabledZeroAllocs(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("file")
+		c.SetInt("rows", 1)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f/op, want 0", allocs)
+	}
+}

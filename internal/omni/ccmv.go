@@ -233,8 +233,8 @@ func (d *Deployment) Refresh(mv *CCMV, incremental bool) (RefreshReport, error) 
 		}
 	}
 	mv.lastVersion = version
-	d.Meter.Add("ccmv_refreshes", 1)
-	d.Meter.Add("ccmv_bytes_copied", report.BytesCopied)
+	d.msink.Add("ccmv_refreshes", 1)
+	d.msink.Add("ccmv_bytes_copied", report.BytesCopied)
 	return report, nil
 }
 

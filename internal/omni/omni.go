@@ -31,6 +31,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/engine"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
@@ -76,6 +77,9 @@ func (r *Region) InRealm(p security.Principal) bool { return r.realm[p] }
 type VPN struct {
 	clock *sim.Clock
 	meter *sim.Meter
+	// sink fans the VPN counters into the legacy meter plus (via
+	// Deployment.UseObs) a registry under "omni."-prefixed names.
+	sink obs.Sink
 
 	mu      sync.Mutex
 	allowed map[string]bool // region names admitted to the VPN
@@ -86,7 +90,7 @@ func NewVPN(clock *sim.Clock, meter *sim.Meter) *VPN {
 	if meter == nil {
 		meter = &sim.Meter{}
 	}
-	return &VPN{clock: clock, meter: meter, allowed: make(map[string]bool)}
+	return &VPN{clock: clock, meter: meter, sink: meter, allowed: make(map[string]bool)}
 }
 
 // Admit allow-lists a region endpoint.
@@ -111,10 +115,10 @@ func (v *VPN) Call(ch sim.Charger, fromRegion, toRegion string, payloadBytes int
 		return nil
 	}
 	ch.Charge(profile.CrossCloudRTT + sim.StreamTime(payloadBytes, profile.EgressPerMB))
-	v.meter.Add("vpn_calls", 1)
-	v.meter.Add("vpn_bytes", payloadBytes)
+	v.sink.Add("vpn_calls", 1)
+	v.sink.Add("vpn_bytes", payloadBytes)
 	if fromRegion != toRegion {
-		v.meter.Add("egress_bytes", payloadBytes)
+		v.sink.Add("egress_bytes", payloadBytes)
 	}
 	return nil
 }
@@ -129,6 +133,16 @@ type Deployment struct {
 	Auth    *security.Authority
 	VPN     *VPN
 	Meter   *sim.Meter
+	// Obs is the deployment-wide metrics registry: control-plane
+	// counters land under "omni.*" and every region's data plane
+	// (object store, Big Metadata, engine, Storage API) is teed into
+	// it, so one snapshot covers the whole installation.
+	Obs *obs.Registry
+	// Tracer, when set, records one span tree per submitted query with
+	// per-region subquery spans and egress-byte attributes.
+	Tracer *obs.Tracer
+	// msink fans Deployment counters into Meter and Obs.
+	msink obs.Sink
 	// Res is the retry policy for cross-cloud transfer operations
 	// (CCMV file copies/deletes). Nil behaves like resilience.NoRetry.
 	Res *resilience.Policy
@@ -146,17 +160,22 @@ type Deployment struct {
 func NewDeployment(clock *sim.Clock, admins ...security.Principal) *Deployment {
 	admins = append(admins, ControlPrincipal)
 	meter := &sim.Meter{}
+	reg := obs.NewRegistry()
 	res := resilience.DefaultPolicy()
-	res.Meter = meter
-	return &Deployment{
+	res.Meter = obs.Tee(meter, reg.Prefixed("resilience."))
+	d := &Deployment{
 		Clock:   clock,
 		Catalog: catalog.New(),
 		Auth:    security.NewAuthority("omni-deployment-secret", admins...),
 		VPN:     NewVPN(clock, nil),
 		Meter:   meter,
+		Obs:     reg,
+		msink:   obs.Tee(meter, reg.Prefixed("omni.")),
 		Res:     res,
 		regions: make(map[string]*Region),
 	}
+	d.VPN.sink = obs.Tee(d.VPN.meter, reg.Prefixed("omni."))
+	return d
 }
 
 // AddRegion deploys a data plane in a region. The first GCP region
@@ -193,6 +212,11 @@ func (d *Deployment) AddRegion(name, cloud string) (*Region, error) {
 		return nil, err
 	}
 
+	store.UseObs(d.Obs)
+	meta.UseObs(d.Obs)
+	log.UseObs(d.Obs)
+	eng.UseObs(d.Obs)
+	srv.UseObs(d.Obs)
 	r := &Region{
 		Name: name, Cloud: cloud,
 		Store: store, Meta: meta, Log: log,

@@ -7,6 +7,7 @@ import (
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
 	"biglake/internal/engine"
+	"biglake/internal/obs"
 	"biglake/internal/security"
 	"biglake/internal/sqlparse"
 	"biglake/internal/vector"
@@ -39,6 +40,13 @@ func (d *Deployment) SubmitWith(principal security.Principal, sql string, opts S
 		return nil, err
 	}
 	queryID := fmt.Sprintf("omni-q-%d", d.nextSeq())
+
+	// Per-query trace (nil Tracer disables it end to end). The
+	// deployment started the trace, so it — not the region engines,
+	// which see ctx.Trace already set — finishes it.
+	tr := d.Tracer.Start(queryID, d.Clock)
+	root := tr.Root()
+	defer tr.Finish()
 
 	sel, isSelect := stmt.(*sqlparse.SelectStmt)
 	tables := referencedTables(stmt)
@@ -106,6 +114,13 @@ func (d *Deployment) SubmitWith(principal security.Principal, sql string, opts S
 		ctx := engine.NewContext(principal, queryID)
 		ctx.Region = target.Name
 		ctx.Scope = scope
+		ctx.Trace = tr
+		if root != nil {
+			sp := root.Child("dispatch " + target.Name)
+			sp.SetStr("cloud", target.Cloud)
+			ctx.Span = sp
+			defer sp.End()
+		}
 		res, err := target.Engine.Execute(ctx, stmt)
 		if err != nil {
 			return nil, err
@@ -115,13 +130,14 @@ func (d *Deployment) SubmitWith(principal security.Principal, sql string, opts S
 		if err := d.VPN.Call(d.Clock, target.Name, d.Primary, payload, target.Store.Profile()); err != nil {
 			return nil, err
 		}
+		ctx.Span.SetInt("result_bytes", payload)
 		return res, nil
 	}
 
 	// Cross-cloud query (§5.6.1): run remote subqueries with filter
 	// pushdown, stream results back as temp tables, rewrite, and join
 	// locally.
-	d.Meter.Add("cross_cloud_queries", 1)
+	d.msink.Add("cross_cloud_queries", 1)
 	rewritten := cloneSelect(sel)
 	for _, t := range tables {
 		if regionOf[t] == home {
@@ -149,16 +165,29 @@ func (d *Deployment) SubmitWith(principal security.Principal, sql string, opts S
 		ctx := engine.NewContext(principal, queryID)
 		ctx.Region = remote.Name
 		ctx.Scope = scope
+		ctx.Trace = tr
+		var ssp *obs.Span
+		if root != nil {
+			ssp = root.Child("subquery " + remote.Name)
+			ssp.SetStr("cloud", remote.Cloud)
+			ssp.SetStr("table", t)
+			ctx.Span = ssp
+		}
 		res, err := remote.Engine.Execute(ctx, sub)
 		if err != nil {
+			ssp.End()
 			return nil, fmt.Errorf("omni: remote subquery on %s: %w", remote.Name, err)
 		}
 		// High-throughput streaming of the filtered result back to the
 		// home region over the VPN.
 		payload := vector.EncodeBatch(res.Batch, true)
 		if err := d.VPN.Call(d.Clock, remote.Name, home, int64(len(payload)), remote.Store.Profile()); err != nil {
+			ssp.End()
 			return nil, err
 		}
+		ssp.SetInt("rows", int64(res.Batch.N))
+		ssp.SetInt("egress_bytes", int64(len(payload)))
+		ssp.End()
 		tempName, err := d.createTempTable(homeRegion, principal, res.Batch)
 		if err != nil {
 			return nil, err
@@ -168,6 +197,12 @@ func (d *Deployment) SubmitWith(principal security.Principal, sql string, opts S
 
 	ctx := engine.NewContext(principal, queryID)
 	ctx.Region = home
+	ctx.Trace = tr
+	if root != nil {
+		jsp := root.Child("local join " + home)
+		ctx.Span = jsp
+		defer jsp.End()
+	}
 	res, err := homeRegion.Engine.Execute(ctx, rewritten)
 	if err != nil {
 		return nil, err

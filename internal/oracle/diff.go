@@ -30,6 +30,7 @@ import (
 	"biglake/internal/colfmt"
 	"biglake/internal/engine"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/security"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
@@ -90,6 +91,9 @@ type Options struct {
 	Trials  int // generated worlds; default 2
 	Queries int // SELECTs per world per phase; default 70
 	Log     func(format string, args ...any)
+	// Tracer, when set, records a span tree for every engine query the
+	// run executes (profiling soak: set a Cap to bound retention).
+	Tracer *obs.Tracer
 }
 
 // Report is the outcome of a differential run.
@@ -164,12 +168,13 @@ func newWorld() (*world, error) {
 }
 
 type harness struct {
-	w     *world
-	db    *DB
-	seed  uint64
-	trial int
-	rep   *Report
-	logf  func(format string, args ...any)
+	w      *world
+	db     *DB
+	seed   uint64
+	trial  int
+	rep    *Report
+	logf   func(format string, args ...any)
+	tracer *obs.Tracer
 }
 
 // engineFor builds a fresh engine (and metadata cache) for one cell.
@@ -183,6 +188,7 @@ func (h *harness) engineFor(cfg Config) *engine.Engine {
 	})
 	eng.ManagedCred = h.w.cred
 	eng.SetMutator(h.w.mgr)
+	eng.Tracer = h.tracer
 	return eng
 }
 
@@ -702,7 +708,7 @@ func runTrial(rep *Report, seed uint64, trial int, opts Options, logf func(strin
 	}
 	gen := NewGen(seed)
 	tables := gen.Tables()
-	h := &harness{w: w, db: NewDB(), seed: seed, trial: trial, rep: rep, logf: logf}
+	h := &harness{w: w, db: NewDB(), seed: seed, trial: trial, rep: rep, logf: logf, tracer: opts.Tracer}
 	if err := h.install(tables); err != nil {
 		return nil, err
 	}

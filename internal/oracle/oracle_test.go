@@ -11,6 +11,7 @@ import (
 	"flag"
 	"testing"
 
+	"biglake/internal/obs"
 	"biglake/internal/vector"
 )
 
@@ -128,5 +129,35 @@ func TestOracleSmoke(t *testing.T) {
 	}
 	if del.Rows[0][0].I != 2 {
 		t.Fatalf("deleted = %v", del.Rows[0][0])
+	}
+}
+
+// TestDifferentialWithProfiling re-runs a small differential matrix
+// with span tracing enabled on every engine cell: profiling must not
+// perturb results (zero divergences) and must actually record traces.
+func TestDifferentialWithProfiling(t *testing.T) {
+	tracer := &obs.Tracer{Cap: 32}
+	rep, err := Run(Options{Seed: 7, Trials: 1, Queries: 12, Tracer: tracer})
+	if err != nil {
+		t.Fatalf("profiled run failed: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Fatalf("profiling changed results:\n%s", rep.Divergence.Format())
+	}
+	traces := tracer.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded under profiling")
+	}
+	if len(traces) > 32 {
+		t.Fatalf("tracer cap not honored: %d traces retained", len(traces))
+	}
+	for _, tr := range traces {
+		root := tr.Root()
+		if root == nil || !root.Ended() {
+			t.Fatalf("trace %s has unfinished root", tr.QueryID)
+		}
+		if data, err := obs.ChromeTrace(tr); err != nil || len(data) == 0 {
+			t.Fatalf("trace %s: chrome export failed: %v", tr.QueryID, err)
+		}
 	}
 }

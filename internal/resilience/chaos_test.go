@@ -147,7 +147,7 @@ func TestChaosSoakTPCH(t *testing.T) {
 // interleaving in the parallel scan fan-out must not change what
 // faults.
 func TestChaosDeterministicAcrossRuns(t *testing.T) {
-	var logs [2][]objstore.FaultRecord
+	var logs [2][]string
 	for run := 0; run < 2; run++ {
 		env, queries := newSoakEnv(t)
 		env.Store.InjectFaults(objstore.FaultProfile{
@@ -159,7 +159,7 @@ func TestChaosDeterministicAcrossRuns(t *testing.T) {
 				env.Engine.Query(engine.NewContext(exp.Admin, fmt.Sprintf("d-%d-%s", round, q.ID)), q.SQL)
 			}
 		}
-		logs[run] = env.Store.FaultLog()
+		logs[run] = env.Store.Obs().Events("objstore.faults")
 	}
 	if len(logs[0]) == 0 {
 		t.Fatal("no faults injected")

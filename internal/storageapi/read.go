@@ -24,6 +24,7 @@ import (
 	"biglake/internal/colfmt"
 	"biglake/internal/crashpoint"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sim"
@@ -161,6 +162,10 @@ type Server struct {
 	// Crash marks the write protocols' labeled crash points (nil = none).
 	Crash *crashpoint.Injector
 
+	// msink fans session/read counters into the legacy meter and (via
+	// UseObs) a shared registry under "storageapi.*" names.
+	msink obs.Sink
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	cache    map[string]cachedSession
@@ -181,6 +186,7 @@ func NewServer(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cac
 	res := resilience.DefaultPolicy()
 	res.Meter = meter
 	return &Server{
+		msink:      meter,
 		Catalog:    cat,
 		Auth:       auth,
 		Meta:       meta,
@@ -193,6 +199,19 @@ func NewServer(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cac
 		sessions:   make(map[string]*session),
 		cache:      make(map[string]cachedSession),
 		writes:     make(map[string]*writeStream),
+	}
+}
+
+// UseObs tees the server's counters into a shared registry under
+// "storageapi."-prefixed names and its retry metrics under
+// "resilience.*"; legacy meter names keep working.
+func (s *Server) UseObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.msink = obs.Tee(s.Meter, r.Prefixed("storageapi."))
+	if s.Res != nil {
+		s.Res.Meter = obs.Tee(s.Meter, r.Prefixed("resilience."))
 	}
 }
 
@@ -254,7 +273,7 @@ func (s *Server) CreateReadSession(req ReadSessionRequest) (*ReadSession, error)
 	if c, ok := s.cache[key]; ok && s.Clock.Now() <= c.expires {
 		if sess, ok := s.sessions[c.id]; ok {
 			s.mu.Unlock()
-			s.Meter.Add("sessions_reused", 1)
+			s.msink.Add("sessions_reused", 1)
 			sess.openStreams(c.id)
 			return s.describe(c.id, sess, true), nil
 		}
@@ -357,7 +376,7 @@ func (s *Server) CreateReadSession(req ReadSessionRequest) (*ReadSession, error)
 
 	// Server-side session creation cost.
 	s.Clock.Advance(SessionLatency)
-	s.Meter.Add("sessions_created", 1)
+	s.msink.Add("sessions_created", 1)
 	return s.describe(id, sess, false), nil
 }
 
@@ -446,8 +465,8 @@ func (s *Server) readRowsOn(ch sim.Charger, sessionID, streamName string) ([]byt
 		return nil, err
 	}
 	payload := vector.EncodeBatch(batch, sess.req.KeepEncodings)
-	s.Meter.Add("readrows_bytes", int64(len(payload)))
-	s.Meter.Add("readrows_calls", 1)
+	s.msink.Add("readrows_bytes", int64(len(payload)))
+	s.msink.Add("readrows_calls", 1)
 	return payload, nil
 }
 
@@ -561,8 +580,8 @@ func (s *Server) computeAggregates(ch sim.Charger, sess *session, files []bigmet
 		return nil, err
 	}
 	payload := vector.EncodeBatch(batch, false)
-	s.Meter.Add("readrows_bytes", int64(len(payload)))
-	s.Meter.Add("readrows_calls", 1)
+	s.msink.Add("readrows_bytes", int64(len(payload)))
+	s.msink.Add("readrows_calls", 1)
 	return payload, nil
 }
 

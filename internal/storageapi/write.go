@@ -49,7 +49,7 @@ type writeStream struct {
 	rows      *vector.Batch
 	offset    int64
 	// flushed is the row offset already made visible (BufferedMode).
-	flushed   int64
+	flushed int64
 	// flushSeq numbers this stream's successful flushes; data-file keys
 	// derive from it, so a retried flush overwrites its own earlier
 	// attempt instead of stranding it.
@@ -150,7 +150,7 @@ func (s *Server) AppendRows(streamID string, offset int64, rows *vector.Batch) (
 	}
 	ws.rows = merged
 	ws.offset += int64(rows.N)
-	s.Meter.Add("appended_rows", int64(rows.N))
+	s.msink.Add("appended_rows", int64(rows.N))
 
 	if ws.mode == CommittedMode {
 		if err := s.flushStreamLocked(ws, ws.offset); err != nil {

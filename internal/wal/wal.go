@@ -262,6 +262,7 @@ func Recover(j *Journal, clock *sim.Clock, meter *sim.Meter) (*Recovered, error)
 		return nil, err
 	}
 	log.AttachJournal(j)
+	log.UseObs(j.Store.Obs())
 
 	streams := map[string]bigmeta.StreamState{}
 	for _, c := range commits {
@@ -285,6 +286,13 @@ func Recover(j *Journal, clock *sim.Clock, meter *sim.Meter) (*Recovered, error)
 	sort.Strings(rep.UnsealedIntents)
 	sort.Strings(rep.AbortedIntents)
 	sort.Strings(rep.OrphanCandidates)
+	// Recovery statistics land in the store registry under "wal.*".
+	reg := j.Store.Obs()
+	reg.Add("wal.recover.runs", 1)
+	reg.Add("wal.recover.commits", int64(len(commits)))
+	reg.Add("wal.recover.unsealed_intents", int64(len(rep.UnsealedIntents)))
+	reg.Add("wal.recover.aborted_intents", int64(len(rep.AbortedIntents)))
+	reg.Add("wal.recover.orphan_candidates", int64(len(rep.OrphanCandidates)))
 	return &Recovered{Log: log, Streams: streams, Report: rep}, nil
 }
 
@@ -329,5 +337,9 @@ func GCOrphans(store *objstore.Store, cred objstore.Credential, bucket string, p
 		}
 	}
 	sort.Strings(rep.Deleted)
+	reg := store.Obs()
+	reg.Add("wal.gc.scanned", int64(rep.Scanned))
+	reg.Add("wal.gc.deleted", int64(len(rep.Deleted)))
+	reg.Add("wal.gc.bytes", rep.Bytes)
 	return rep, nil
 }

@@ -176,7 +176,7 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 					nextKey++
 					d.Added = append(d.Added, bigmeta.FileEntry{
 						Bucket: "lake", Key: key, Size: int64(rng.Intn(4096)),
-						RowCount: int64(rng.Intn(1000)),
+						RowCount:  int64(rng.Intn(1000)),
 						Partition: map[string]string{"date": fmt.Sprintf("2024-01-%02d", rng.Intn(28)+1)},
 					})
 					live[table] = append(live[table], key)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# obslint: keep metrics in the registry. Flags new bespoke counter
+# fields (int64 struct fields named like counters) declared outside
+# internal/obs — new metrics belong in the obs.Registry behind dotted
+# names, not ad-hoc struct fields with hand-rolled accessors.
+#
+# Pre-existing fields (engine.ExecStats etc.) are grandfathered in
+# scripts/obslint.allow; add a line there ONLY with a reason in the
+# commit message.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='^[[:space:]]+[A-Z][A-Za-z]*(Count|Counts|Hits|Misses|Calls|Retries|Faults|Errors|Injected|Scanned|Replays)[[:space:]]+int64'
+
+matches=$(grep -rnE "$pattern" --include='*.go' \
+    --exclude-dir=obs --exclude='*_test.go' internal/ cmd/ 2>/dev/null \
+    | sed 's/:[0-9]*:/: /' | awk '{print $1, $2}' | sort -u) || true
+
+new=$(printf '%s\n' "$matches" | comm -13 scripts/obslint.allow - || true)
+if [ -n "$new" ]; then
+    echo "obslint: new raw counter field(s) outside internal/obs:" >&2
+    printf '%s\n' "$new" >&2
+    echo "route them through the obs.Registry (see DESIGN.md Observability)" >&2
+    exit 1
+fi
+echo "obslint: ok"
