@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash bench bench-smoke obs ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn bench bench-smoke obs ci
 
 all: build
 
@@ -68,6 +68,17 @@ obs:
 	$(GO) test -run '^$$' -bench BenchmarkSpanDisabled -benchtime 100000x ./internal/obs/
 	./scripts/obslint.sh
 
+# The transaction gate: the interactive-transaction package under the
+# race detector, plus the interleaved-schedule serializability oracle
+# and its crash sweep (kill the process at every labeled step of the
+# multi-table commit protocol, recover, re-drive the schedule, and
+# require a serializable, orphan-free state). Replay one world with
+#
+#	go test ./internal/oracle -run TestTxnCrashSweep -seed=<n> -v
+txn:
+	$(GO) test -race ./internal/txn/
+	$(GO) test -race -run 'TestTxn' -v ./internal/oracle/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -78,4 +89,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race obs chaos fuzz crash bench-smoke
+ci: vet build test race obs chaos fuzz crash txn bench-smoke

@@ -42,7 +42,7 @@ var (
 )
 
 // allIDs is the "all" expansion and the canonical ordering.
-var allIDs = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "a1", "a2", "a3", "a4"}
+var allIDs = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "a1", "a2", "a3", "a4"}
 
 // valueFlags take a separate value argument (`-scale 2`); everything
 // else is boolean-ish or uses `-flag=value` form.
@@ -236,6 +236,7 @@ var experiments = map[string]runner{
 	"e14":  runE14,
 	"e15":  runE15,
 	"e16":  runE16,
+	"e17":  runE17,
 	"a1":   runA1,
 	"a2":   runA2,
 	"a3":   runA3,
@@ -478,6 +479,22 @@ func runE16(_ *obsSetup) (any, error) {
 	}
 	fmt.Printf("scan cache sim-I/O: cold=%v (%d GETs) warm=%v (%d GETs)  hits=%d misses=%d\n",
 		res.ColdScanSim, res.ColdGets, res.WarmScanSim, res.WarmGets, res.CacheHits, res.CacheMisses)
+	return res, nil
+}
+
+func runE17(_ *obsSetup) (any, error) {
+	res, err := exp.RunE17(*scale)
+	if err != nil {
+		return nil, err
+	}
+	header("E17 | interactive transactions: contention sweep, OCC abort rate and commit throughput")
+	fmt.Printf("%-8s %10s %9s %8s %8s %10s %12s %12s %9s\n",
+		"writers", "committed", "attempts", "aborts", "retries", "abort rate", "txn/sim-s", "base/sim-s", "overhead")
+	for _, r := range res.Rows {
+		fmt.Printf("%-8d %10d %9d %8d %8d %9.1f%% %12.1f %12.1f %8.2fx\n",
+			r.Writers, r.Committed, r.Attempts, r.Aborts, r.Retries, 100*r.AbortRate, r.TxnPerSec, r.BasePerSec, r.Overhead)
+	}
+	fmt.Printf("(%d same-snapshot rounds per writer count; 1 in 4 writers read-modify-writes a shared counter file)\n", res.Rounds)
 	return res, nil
 }
 

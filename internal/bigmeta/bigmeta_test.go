@@ -469,3 +469,71 @@ func TestRefreshLatencyFarBelowPerQueryListing(t *testing.T) {
 		t.Fatalf("direct listing cost only %v", cost)
 	}
 }
+
+func TestSnapshotPinCacheServesHistoricalVersions(t *testing.T) {
+	meter := &sim.Meter{}
+	l := NewLog(sim.NewClock(), meter)
+	l.BaselineEvery = 0 // manual compaction
+	for i := 0; i < 20; i++ {
+		l.Commit("w", map[string]TableDelta{
+			"t": {Added: []FileEntry{entry(fmt.Sprintf("f%03d", i), 1)}},
+		})
+	}
+	l.Compact()
+	// First pre-baseline read pays a replay and fills the pin cache...
+	f1, _, err := l.Snapshot("t", 5)
+	if err != nil || len(f1) != 5 {
+		t.Fatalf("snapshot@5 = %d files, %v", len(f1), err)
+	}
+	if meter.Get("meta_snapshot_pin_misses") != 1 || meter.Get("meta_snapshot_replays") != 1 {
+		t.Fatalf("first read: misses=%d replays=%d, want 1/1",
+			meter.Get("meta_snapshot_pin_misses"), meter.Get("meta_snapshot_replays"))
+	}
+	// ...the caller may mutate its copy without corrupting the cache...
+	f1[0].Key = "clobbered"
+	// ...and every subsequent read of the same (table, version) is a
+	// cache hit with no further replay.
+	for i := 0; i < 3; i++ {
+		f, _, err := l.Snapshot("t", 5)
+		if err != nil || len(f) != 5 || f[0].Key != "f000" {
+			t.Fatalf("pinned read %d = %+v, %v", i, f, err)
+		}
+	}
+	if hits := meter.Get("meta_snapshot_pin_hits"); hits != 3 {
+		t.Fatalf("pin hits = %d, want 3", hits)
+	}
+	if meter.Get("meta_snapshot_replays") != 1 {
+		t.Fatalf("replays = %d, want 1 (cache must serve repeats)", meter.Get("meta_snapshot_replays"))
+	}
+}
+
+func TestCommitTxIfValidatesAgainstConcurrentCommits(t *testing.T) {
+	meter := &sim.Meter{}
+	l := NewLog(sim.NewClock(), meter)
+	snap, _ := l.Commit("w", map[string]TableDelta{"t": {Added: []FileEntry{entry("f1", 1)}}})
+	// A concurrent commit lands after the snapshot.
+	l.Commit("w", map[string]TableDelta{"t": {Removed: []string{"f1"}, Added: []FileEntry{entry("f2", 1)}}})
+
+	wantErr := errors.New("conflict on f1")
+	check := func(rec CommitRecord) error {
+		for _, d := range rec.Deltas {
+			for _, k := range d.Removed {
+				if k == "f1" {
+					return wantErr
+				}
+			}
+		}
+		return nil
+	}
+	// Validation sees exactly the records after snap and rejects.
+	if _, err := l.CommitTxIf("w", TxOptions{}, map[string]TableDelta{"t": {Added: []FileEntry{entry("f3", 1)}}}, snap, check); !errors.Is(err, wantErr) {
+		t.Fatalf("CommitTxIf err = %v, want conflict", err)
+	}
+	if meter.Get("meta_commit_conflicts") != 1 {
+		t.Fatalf("meta_commit_conflicts = %d, want 1", meter.Get("meta_commit_conflicts"))
+	}
+	// Validating from the later version passes: nothing new to check.
+	if _, err := l.CommitTxIf("w", TxOptions{}, map[string]TableDelta{"t": {Added: []FileEntry{entry("f3", 1)}}}, l.Version(), check); err != nil {
+		t.Fatalf("CommitTxIf at head: %v", err)
+	}
+}

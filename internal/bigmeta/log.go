@@ -116,6 +116,15 @@ type Log struct {
 	sink    CommitSink
 	applied map[string]int64
 
+	// pins caches historical (pre-baseline) snapshots so a pinned
+	// reader replays the audit history at most once per (table,
+	// version); repeat reads are served from the cache. Guarded by
+	// pinMu, which is only ever taken while holding mu (never the
+	// reverse).
+	pinMu    sync.Mutex
+	pins     map[pinKey][]FileEntry
+	pinOrder []pinKey
+
 	// BaselineEvery triggers automatic compaction after this many tail
 	// commits (0 disables).
 	BaselineEvery int
@@ -135,9 +144,20 @@ func NewLog(clock *sim.Clock, meter *sim.Meter) *Log {
 		msink:         meter,
 		baseline:      make(map[string][]FileEntry),
 		applied:       make(map[string]int64),
+		pins:          make(map[pinKey][]FileEntry),
 		BaselineEvery: 64,
 	}
 }
+
+// pinKey identifies one cached historical snapshot. Snapshots are
+// immutable once their version is sealed, so entries never invalidate.
+type pinKey struct {
+	table   string
+	version int64
+}
+
+// pinCacheMax bounds the historical-snapshot cache.
+const pinCacheMax = 256
 
 // UseObs tees the log's commit counters into a shared registry under
 // "bigmeta."-prefixed names; legacy meter names keep working.
@@ -185,6 +205,19 @@ func (l *Log) Commit(principal string, deltas map[string]TableDelta) (int64, err
 // ordering that makes an acknowledged commit survive any crash, and an
 // unsealed one vanish completely.
 func (l *Log) CommitTx(principal string, opts TxOptions, deltas map[string]TableDelta) (int64, error) {
+	return l.CommitTxIf(principal, opts, deltas, 0, nil)
+}
+
+// CommitTxIf is CommitTx with first-committer-wins validation: before
+// sealing, check is invoked — still under the log's single mutex —
+// for every commit record with Version > since. If any invocation
+// returns an error the commit is rejected with nothing written,
+// durable or in-memory. Holding one lock across validate+seal is what
+// makes a multi-table commit conflict-atomic without per-table locks,
+// so no lock ordering exists for concurrent committers to deadlock on.
+// An already-applied TxnID replays as a no-op before validation runs
+// (a crashed committer's retry must not conflict with itself).
+func (l *Log) CommitTxIf(principal string, opts TxOptions, deltas map[string]TableDelta, since int64, check func(CommitRecord) error) (int64, error) {
 	if len(deltas) == 0 {
 		return 0, fmt.Errorf("bigmeta: empty commit")
 	}
@@ -195,6 +228,20 @@ func (l *Log) CommitTx(principal string, opts TxOptions, deltas map[string]Table
 		if v, ok := l.applied[opts.TxnID]; ok {
 			l.msink.Add("meta_commit_replays", 1)
 			return v, nil
+		}
+	}
+	if check != nil {
+		// History versions are contiguous from 1, so the records after
+		// `since` start at index `since`.
+		start := since
+		if start < 0 {
+			start = 0
+		}
+		for i := int(start); i < len(l.history); i++ {
+			if err := check(l.history[i]); err != nil {
+				l.msink.Add("meta_commit_conflicts", 1)
+				return 0, err
+			}
 		}
 	}
 	rec := CommitRecord{
@@ -342,9 +389,28 @@ func (l *Log) Snapshot(table string, version int64) ([]FileEntry, int64, error) 
 		return nil, 0, fmt.Errorf("%w: version %d > latest %d", ErrNoSnapshot, version, l.version)
 	}
 	if version < l.baselineVersion {
-		// Point-in-time reads older than the baseline replay the full
-		// audit history.
+		// Point-in-time reads older than the baseline are served from
+		// the pin cache when resident; only the first read of a given
+		// (table, version) pays a full audit-history replay. Snapshot
+		// immutability makes the cached entry valid forever.
+		k := pinKey{table: table, version: version}
+		l.pinMu.Lock()
+		if cached, ok := l.pins[k]; ok {
+			l.pinMu.Unlock()
+			l.msink.Add("meta_snapshot_pin_hits", 1)
+			return append([]FileEntry(nil), cached...), version, nil
+		}
 		files := replay(l.history, table, version)
+		if len(l.pinOrder) >= pinCacheMax {
+			oldest := l.pinOrder[0]
+			l.pinOrder = l.pinOrder[1:]
+			delete(l.pins, oldest)
+		}
+		l.pins[k] = append([]FileEntry(nil), files...)
+		l.pinOrder = append(l.pinOrder, k)
+		l.pinMu.Unlock()
+		l.msink.Add("meta_snapshot_pin_misses", 1)
+		l.msink.Add("meta_snapshot_replays", 1)
 		return files, version, nil
 	}
 	files := append([]FileEntry(nil), l.baseline[table]...)
@@ -403,6 +469,24 @@ func (l *Log) History(table string) []CommitRecord {
 		}
 	}
 	return out
+}
+
+// Since returns copies of the commit records with Version > version,
+// in version order — the history a transaction that began at
+// `version` must validate against. Used for cheap pre-validation
+// outside the commit lock; the authoritative check reruns under
+// CommitTxIf.
+func (l *Log) Since(version int64) []CommitRecord {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	start := version
+	if start < 0 {
+		start = 0
+	}
+	if start >= int64(len(l.history)) {
+		return nil
+	}
+	return append([]CommitRecord(nil), l.history[start:]...)
 }
 
 // TailLen reports the current in-memory tail length (observability).

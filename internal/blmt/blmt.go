@@ -235,7 +235,7 @@ func (m *Manager) Insert(ctx *engine.QueryContext, table string, rows *vector.Ba
 	}
 	// Align inserted columns with the declared schema (missing
 	// columns become NULL).
-	aligned, err := alignToSchema(rows, t.Schema)
+	aligned, err := AlignToSchema(rows, t.Schema)
 	if err != nil {
 		return err
 	}
@@ -258,7 +258,11 @@ func (m *Manager) Insert(ctx *engine.QueryContext, table string, rows *vector.Ba
 		bigmeta.TableDelta{Added: []bigmeta.FileEntry{entry}}, t)
 }
 
-func alignToSchema(rows *vector.Batch, schema vector.Schema) (*vector.Batch, error) {
+// AlignToSchema aligns a batch's columns with a declared table schema:
+// matching columns are type-checked, missing columns become all-NULL.
+// Shared with internal/txn, whose buffered writes must align exactly
+// like a direct insert.
+func AlignToSchema(rows *vector.Batch, schema vector.Schema) (*vector.Batch, error) {
 	if rows.Schema.Equal(schema) {
 		return rows, nil
 	}
@@ -420,27 +424,33 @@ func (m *Manager) Update(ctx *engine.QueryContext, table string, set func(*vecto
 		if err != nil {
 			return nil, false, err
 		}
-		// Merge: masked rows from transformed, others original.
-		cols := make([]*vector.Column, len(b.Cols))
-		for ci := range b.Cols {
-			orig, upd := b.Cols[ci].Decode(), transformed.Cols[ci].Decode()
-			builder := vector.NewBuilder(vector.NewSchema(b.Schema.Fields[ci]))
-			for r := 0; r < b.N; r++ {
-				if mask[r] {
-					builder.Append(upd.Value(r))
-				} else {
-					builder.Append(orig.Value(r))
-				}
-			}
-			cols[ci] = builder.Build().Cols[0]
-		}
-		out, err := vector.NewBatch(b.Schema, cols)
+		out, err := MergeMasked(b, transformed, mask)
 		if err != nil {
 			return nil, false, err
 		}
 		return out, true, nil
 	})
 	return updated, err
+}
+
+// MergeMasked merges two same-schema batches row-wise: masked rows
+// come from upd, others from orig — the UPDATE copy-on-write merge.
+// Shared with internal/txn, whose buffered updates merge identically.
+func MergeMasked(orig, upd *vector.Batch, mask []bool) (*vector.Batch, error) {
+	cols := make([]*vector.Column, len(orig.Cols))
+	for ci := range orig.Cols {
+		o, u := orig.Cols[ci].Decode(), upd.Cols[ci].Decode()
+		builder := vector.NewBuilder(vector.NewSchema(orig.Schema.Fields[ci]))
+		for r := 0; r < orig.N; r++ {
+			if mask[r] {
+				builder.Append(u.Value(r))
+			} else {
+				builder.Append(o.Value(r))
+			}
+		}
+		cols[ci] = builder.Build().Cols[0]
+	}
+	return vector.NewBatch(orig.Schema, cols)
 }
 
 // CreateTableAs materializes a query result as a new managed table

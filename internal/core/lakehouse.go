@@ -18,8 +18,11 @@ import (
 	"biglake/internal/objstore"
 	"biglake/internal/security"
 	"biglake/internal/sim"
+	"biglake/internal/sqlparse"
 	"biglake/internal/storageapi"
+	"biglake/internal/txn"
 	"biglake/internal/vector"
+	"biglake/internal/wal"
 )
 
 // Options configures a lakehouse deployment.
@@ -46,11 +49,14 @@ type Lakehouse struct {
 	Manager    *blmt.Manager
 	Inference  *inference.Runtime
 	Store      *objstore.Store
+	Journal    *wal.Journal
+	Txns       *txn.Manager
 	Admin      security.Principal
 
 	cloud     string
 	serviceSA objstore.Credential
 	querySeq  int
+	sessions  map[security.Principal]*txn.Session
 }
 
 // New builds a ready-to-use lakehouse.
@@ -89,13 +95,21 @@ func New(opts Options) (*Lakehouse, error) {
 	mgr.DefaultCloud = opts.Cloud
 	mgr.DefaultBucket = "bq-managed"
 	eng.SetMutator(mgr)
+	j, err := wal.Open(store, sa, "bq-managed", "")
+	if err != nil {
+		return nil, err
+	}
+	log.AttachJournal(j)
+	mgr.Journal = j
 	rt := inference.NewRuntime(auth, stores, clock, sa)
 	rt.Attach(eng)
 
 	lh := &Lakehouse{
 		Clock: clock, Catalog: cat, Auth: auth, Meta: meta, Log: log,
 		Engine: eng, StorageAPI: srv, Manager: mgr, Inference: rt,
-		Store: store, Admin: opts.Admin, cloud: opts.Cloud, serviceSA: sa,
+		Store: store, Journal: j, Txns: txn.NewManager(eng, j),
+		Admin: opts.Admin, cloud: opts.Cloud, serviceSA: sa,
+		sessions: make(map[security.Principal]*txn.Session),
 	}
 	// A default connection for managed tables and examples.
 	if err := auth.RegisterConnection(opts.Admin, security.Connection{
@@ -208,9 +222,31 @@ func (lh *Lakehouse) CreateObjectTable(creator security.Principal, dataset, name
 	return lh.Auth.GrantTable(lh.Admin, t.FullName(), creator, security.RoleOwner)
 }
 
-// Query runs SQL as a principal.
+// Query runs SQL as a principal. BEGIN opens an interactive
+// transaction for that principal; until it commits or rolls back,
+// the principal's statements run inside the session — reads pinned to
+// the BEGIN-time snapshot, writes buffered until COMMIT seals them
+// atomically across every table touched.
 func (lh *Lakehouse) Query(p security.Principal, sql string) (*engine.Result, error) {
 	lh.querySeq++
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if s := lh.sessions[p]; s != nil {
+		res, err := s.Exec(sql)
+		if !s.Active() {
+			delete(lh.sessions, p)
+		}
+		return res, err
+	}
+	if _, ok := stmt.(*sqlparse.BeginStmt); ok {
+		s := lh.Txns.Begin(p, fmt.Sprintf("q-%d", lh.querySeq))
+		lh.sessions[p] = s
+		out := vector.MustBatch(vector.NewSchema(vector.Field{Name: "snapshot_version", Type: vector.Int64}),
+			[]*vector.Column{vector.NewInt64Column([]int64{s.Snapshot()})})
+		return &engine.Result{Batch: out}, nil
+	}
 	return lh.Engine.Query(engine.NewContext(p, fmt.Sprintf("q-%d", lh.querySeq)), sql)
 }
 

@@ -126,3 +126,76 @@ func TestRefreshMetadataCacheErrors(t *testing.T) {
 func simpleSchema() vector.Schema {
 	return vector.NewSchema(vector.Field{Name: "id", Type: vector.Int64})
 }
+
+// TestQueryInteractiveTransaction drives the shell's transaction
+// surface: BEGIN routes the principal's statements into a session
+// (buffered writes visible inside, invisible to other principals),
+// COMMIT seals and the session closes; a lone COMMIT is an error.
+func TestQueryInteractiveTransaction(t *testing.T) {
+	lh := newLH(t)
+	if err := lh.CreateDataset("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.CreateBucket("data"); err != nil {
+		t.Fatal(err)
+	}
+	schema := vector.NewSchema(
+		vector.Field{Name: "id", Type: vector.Int64},
+		vector.Field{Name: "v", Type: vector.Int64},
+	)
+	if err := lh.CreateManagedTable(admin, "d", "t", schema, "data"); err != nil {
+		t.Fatal(err)
+	}
+	other := security.Principal("other@test")
+	if err := lh.Auth.GrantTable(admin, "d.t", other, security.RoleViewer); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := lh.Query(admin, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.Query(admin, "INSERT INTO d.t VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	count := func(p security.Principal) int {
+		res, err := lh.Query(p, "SELECT id FROM d.t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Batch.N
+	}
+	if got := count(admin); got != 1 {
+		t.Fatalf("inside txn: %d rows, want 1 (read-your-writes)", got)
+	}
+	if got := count(other); got != 0 {
+		t.Fatalf("other principal saw %d uncommitted rows", got)
+	}
+	res, err := lh.Query(admin, "COMMIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.Schema.Fields[0].Name != "commit_version" {
+		t.Fatalf("commit result schema: %v", res.Batch.Schema.Fields)
+	}
+	if got := count(other); got != 1 {
+		t.Fatalf("after commit: other sees %d rows, want 1", got)
+	}
+	// The session is closed: the next statement runs autocommit, and a
+	// bare COMMIT is a transaction-control error again.
+	if _, err := lh.Query(admin, "COMMIT"); err == nil {
+		t.Fatal("bare COMMIT outside a session succeeded")
+	}
+	// ROLLBACK path: buffered delete discarded.
+	if _, err := lh.Query(admin, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.Query(admin, "DELETE FROM d.t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.Query(admin, "ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(admin); got != 1 {
+		t.Fatalf("after rollback: %d rows, want 1", got)
+	}
+}

@@ -32,6 +32,11 @@ var (
 	ErrUnsupported = errors.New("engine: unsupported")
 	ErrNoSuchFunc  = errors.New("engine: unknown function")
 	ErrSemantic    = errors.New("engine: semantic error")
+	// ErrNoTxn reports BEGIN/COMMIT/ROLLBACK reaching the bare engine:
+	// transaction control only has meaning inside an interactive
+	// session (internal/txn), which intercepts these statements before
+	// dispatching to Execute.
+	ErrNoTxn = errors.New("engine: transaction control requires an interactive transaction session")
 )
 
 // ScanWorkers is the per-scan parallelism of the worker pool.
@@ -51,6 +56,26 @@ type ScalarFunc func(ctx *QueryContext, args []*vector.Column) (*vector.Column, 
 // ML.PREDICT): it receives the evaluated input relation and returns
 // the output relation.
 type TVFFunc func(ctx *QueryContext, model string, input *vector.Batch) (*vector.Batch, error)
+
+// TxnView is the engine-facing surface of an interactive transaction
+// session (internal/txn). When a QueryContext carries one, every
+// managed-table scan is pinned to the transaction's snapshot version,
+// overlaid with the session's buffered (uncommitted) writes, and
+// reported back as part of the file-level read set used for optimistic
+// conflict detection at commit.
+type TxnView interface {
+	// SnapshotVersion is the log version every read inside the
+	// transaction is pinned to, across all tables.
+	SnapshotVersion() int64
+	// Overlay returns the session's buffered effect on one table: keys
+	// the transaction logically removed (skipped during scan) and
+	// batches it logically added (appended after the scan, before the
+	// residual WHERE re-check).
+	Overlay(table string) (removed map[string]bool, added []*vector.Batch)
+	// ObserveRead records the snapshot files a scan consumed, feeding
+	// the transaction's read set.
+	ObserveRead(table string, files []bigmeta.FileEntry)
+}
 
 // Mutator handles DML against managed storage (wired to internal/blmt
 // by the top-level client to avoid an import cycle).
@@ -265,6 +290,13 @@ type QueryContext struct {
 	// and restore it on exit. Nil when tracing is off — every span call
 	// is nil-safe and allocation-free in that state.
 	Span *obs.Span
+	// Txn, when set, pins scans to a transaction snapshot and overlays
+	// the session's buffered writes (see TxnView).
+	Txn TxnView
+	// Mutator, when set, overrides the engine's installed DML handler
+	// for this query — transaction sessions route DML into their write
+	// buffer this way.
+	Mutator Mutator
 }
 
 // NewContext builds a query context.
@@ -347,6 +379,8 @@ func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, e
 		return e.execDelete(ctx, s)
 	case *sqlparse.CreateTableAsStmt:
 		return e.execCTAS(ctx, s)
+	case *sqlparse.BeginStmt, *sqlparse.CommitStmt, *sqlparse.RollbackStmt:
+		return nil, ErrNoTxn
 	}
 	return nil, fmt.Errorf("%w: statement %T", ErrUnsupported, stmt)
 }

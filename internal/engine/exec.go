@@ -755,7 +755,10 @@ func compareForSort(a, b vector.Value) int {
 
 // --- DML dispatch ---
 
-func (e *Engine) requireMutator() (Mutator, error) {
+func (e *Engine) requireMutator(ctx *QueryContext) (Mutator, error) {
+	if ctx.Mutator != nil {
+		return ctx.Mutator, nil
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.mutator == nil {
@@ -765,7 +768,7 @@ func (e *Engine) requireMutator() (Mutator, error) {
 }
 
 func (e *Engine) execInsert(ctx *QueryContext, ins *sqlparse.InsertStmt) (*Result, error) {
-	m, err := e.requireMutator()
+	m, err := e.requireMutator(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -858,7 +861,7 @@ func (e *Engine) whereFunc(ctx *QueryContext, where sqlparse.Expr) func(*vector.
 }
 
 func (e *Engine) execDelete(ctx *QueryContext, del *sqlparse.DeleteStmt) (*Result, error) {
-	m, err := e.requireMutator()
+	m, err := e.requireMutator(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -875,7 +878,7 @@ func (e *Engine) execDelete(ctx *QueryContext, del *sqlparse.DeleteStmt) (*Resul
 }
 
 func (e *Engine) execUpdate(ctx *QueryContext, upd *sqlparse.UpdateStmt) (*Result, error) {
-	m, err := e.requireMutator()
+	m, err := e.requireMutator(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -916,7 +919,7 @@ func (e *Engine) execUpdate(ctx *QueryContext, upd *sqlparse.UpdateStmt) (*Resul
 }
 
 func (e *Engine) execCTAS(ctx *QueryContext, cta *sqlparse.CreateTableAsStmt) (*Result, error) {
-	m, err := e.requireMutator()
+	m, err := e.requireMutator(ctx)
 	if err != nil {
 		return nil, err
 	}

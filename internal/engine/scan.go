@@ -268,9 +268,33 @@ func (e *Engine) scanManagedTable(ctx *QueryContext, t catalog.Table, preds []co
 	if err != nil {
 		return nil, err
 	}
-	files, _, err := e.Log.Snapshot(t.FullName(), -1)
+	version := int64(-1)
+	if ctx.Txn != nil {
+		version = ctx.Txn.SnapshotVersion()
+	}
+	files, _, err := e.Log.Snapshot(t.FullName(), version)
 	if err != nil {
 		return nil, err
+	}
+	var overlay []*vector.Batch
+	if ctx.Txn != nil {
+		// Inside a transaction the scan sees the pinned snapshot minus
+		// the files the session already rewrote, plus its buffered
+		// batches. The surviving snapshot files are recorded *before*
+		// predicate pruning: the read set must cover everything the
+		// statement logically read, not just what its pushdown kept.
+		removed, added := ctx.Txn.Overlay(t.FullName())
+		if len(removed) > 0 {
+			live := files[:0]
+			for _, f := range files {
+				if !removed[f.Key] {
+					live = append(live, f)
+				}
+			}
+			files = live
+		}
+		ctx.Txn.ObserveRead(t.FullName(), files)
+		overlay = added
 	}
 	kept := files[:0]
 	for _, f := range files {
@@ -280,7 +304,24 @@ func (e *Engine) scanManagedTable(ctx *QueryContext, t catalog.Table, preds []co
 			ctx.Stats.FilesPruned++
 		}
 	}
-	return e.readFiles(ctx, store, cred, t, kept, preds)
+	out, err := e.readFiles(ctx, store, cred, t, kept, preds)
+	if err != nil {
+		return nil, err
+	}
+	// Buffered batches are appended unfiltered; the residual WHERE in
+	// execSelect (and the where-func in DML rewrites) re-checks the
+	// full predicate, so pushdown never has to understand the overlay.
+	for _, b := range overlay {
+		if b.N == 0 {
+			continue
+		}
+		out, err = vector.AppendBatch(out, b)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Stats.RowsScanned += int64(b.N)
+	}
+	return out, nil
 }
 
 // readFiles fetches and decodes the surviving files in parallel worker

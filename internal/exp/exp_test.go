@@ -346,3 +346,37 @@ func TestE14RecoveryShape(t *testing.T) {
 		}
 	}
 }
+
+func TestE17ContentionShape(t *testing.T) {
+	res, err := RunE17(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if r.Failed != 0 {
+			t.Fatalf("writers=%d: %d transactions exhausted retries", r.Writers, r.Failed)
+		}
+		if r.Committed != r.Writers*res.Rounds {
+			t.Fatalf("writers=%d: committed %d, want %d", r.Writers, r.Committed, r.Writers*res.Rounds)
+		}
+		if r.Aborts != r.Retries {
+			t.Fatalf("writers=%d: aborts=%d retries=%d — every loser should retry once", r.Writers, r.Aborts, r.Retries)
+		}
+		if r.TxnPerSec <= 0 || r.BasePerSec <= 0 {
+			t.Fatalf("writers=%d: non-positive throughput: %+v", r.Writers, r)
+		}
+		if i > 0 && r.AbortRate < res.Rows[i-1].AbortRate {
+			t.Fatalf("abort rate not monotone: writers=%d %.3f < writers=%d %.3f",
+				r.Writers, r.AbortRate, res.Rows[i-1].Writers, res.Rows[i-1].AbortRate)
+		}
+	}
+	if res.Rows[0].Aborts != 0 {
+		t.Fatalf("single writer aborted %d times", res.Rows[0].Aborts)
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.Aborts == 0 {
+		t.Fatal("256 writers produced zero conflicts — contention generator is broken")
+	}
+}

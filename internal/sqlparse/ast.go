@@ -117,6 +117,24 @@ type CreateTableAsStmt struct {
 
 func (*CreateTableAsStmt) stmt() {}
 
+// BeginStmt is BEGIN [TRANSACTION]: it opens an interactive
+// multi-statement transaction session.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt is COMMIT [TRANSACTION]: it seals the open transaction's
+// buffered writes atomically.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt is ROLLBACK [TRANSACTION]: it discards the open
+// transaction's buffered writes.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
 // Expr is any scalar expression.
 type Expr interface {
 	fmt.Stringer

@@ -106,6 +106,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.isKeyword("CREATE"):
 		return p.parseCreateTableAs()
+	case p.isKeyword("BEGIN"):
+		p.i++
+		p.acceptKeyword("TRANSACTION")
+		return &BeginStmt{}, nil
+	case p.isKeyword("COMMIT"):
+		p.i++
+		p.acceptKeyword("TRANSACTION")
+		return &CommitStmt{}, nil
+	case p.isKeyword("ROLLBACK"):
+		p.i++
+		p.acceptKeyword("TRANSACTION")
+		return &RollbackStmt{}, nil
 	}
 	return nil, p.errf("expected a statement, found %q", p.peek().text)
 }
