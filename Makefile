@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn bench bench-smoke obs ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve bench bench-smoke obs ci
 
 all: build
 
@@ -79,6 +79,15 @@ txn:
 	$(GO) test -race ./internal/txn/
 	$(GO) test -race -run 'TestTxn' -v ./internal/oracle/
 
+# The query-service gate: admission control, weighted fair queuing,
+# cancellation, and the seeded load harness under the race detector,
+# then a short deterministic soak (E18 overload shape + same-seed
+# bit-identical replay) and the serve-path differential diff.
+serve:
+	$(GO) test -race ./internal/serve/...
+	$(GO) test -race -run 'TestE18' -v ./internal/exp/
+	$(GO) test -run 'TestDifferentialServe' ./internal/oracle/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -89,4 +98,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race obs chaos fuzz crash txn bench-smoke
+ci: vet build test race obs chaos fuzz crash txn serve bench-smoke

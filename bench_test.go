@@ -313,3 +313,19 @@ func BenchmarkE16Observability(b *testing.B) {
 		b.ReportMetric(float64(res.WarmGets), "warm_gets")
 	}
 }
+
+// BenchmarkE18QueryService: the multi-tenant query service under a
+// seeded open-loop overload sweep — goodput retention at 4x the
+// admission cap and max/min per-tenant fairness across equal-weight
+// tenants (DESIGN.md experiment E18).
+func BenchmarkE18QueryService(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE18(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PeakGoodput, "peak_goodput_qps")
+		b.ReportMetric(res.GoodputMaxRatio, "goodput_4x_ratio")
+		b.ReportMetric(res.EqualFairRatio, "fair_max_min_x")
+	}
+}

@@ -1,5 +1,5 @@
 // Command benchlake regenerates every paper table/figure-shaped result
-// (DESIGN.md experiments E1–E16 and ablations A1–A5) and prints them
+// (DESIGN.md experiments E1–E18 and ablations A1–A5) and prints them
 // as tables. Run a single experiment by id, or everything:
 //
 //	benchlake e1        # Figure 4: TPC-DS speedup with metadata caching
@@ -17,6 +17,7 @@
 // The differential fuzzer is also exposed here for ad-hoc soaks:
 //
 //	benchlake -seed 7 -trials 4 -queries 100 fuzz
+//	benchlake -serve fuzz    # also diff through the serve session path
 package main
 
 import (
@@ -36,13 +37,61 @@ var (
 	fuzzSeed    = flag.Uint64("seed", 1, "fuzz: base RNG seed")
 	fuzzTrials  = flag.Int("trials", 2, "fuzz: generated worlds per run")
 	fuzzQueries = flag.Int("queries", 70, "fuzz: SELECTs per world per phase")
+	fuzzServe   = flag.Bool("serve", false, "fuzz: also diff execution through the serve session path")
 	jsonOut     = flag.Bool("json", false, "also write BENCH_<ID>.json and BENCH_<ID>_METRICS.json in the cwd")
 	traceOut    = flag.String("trace", "", "write a Chrome-trace (Perfetto-loadable) span file; bare -trace means trace.json")
 	profileOut  = flag.Bool("profile", false, "print EXPLAIN ANALYZE of the experiment's slowest traced query")
 )
 
-// allIDs is the "all" expansion and the canonical ordering.
-var allIDs = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "a1", "a2", "a3", "a4"}
+// experiments is the uniform dispatch table: every entry gets the same
+// -json/-trace/-profile handling from run(). Populated by register()
+// in init, never by literal — the duplicate guard is the point.
+var experiments = map[string]runner{}
+
+// allIDs is the "all" expansion and the canonical ordering, derived
+// from registration order. fuzz registers but is excluded: it is a
+// soak, not a table.
+var allIDs []string
+
+// register adds one experiment to the dispatch table. It panics on a
+// duplicate id so a new experiment cannot silently shadow an earlier
+// one — the guard runs at init, so a collision fails every invocation
+// loudly rather than corrupting one result quietly.
+func register(id string, fn runner) {
+	if _, dup := experiments[id]; dup {
+		panic(fmt.Sprintf("benchlake: duplicate experiment id %q", id))
+	}
+	experiments[id] = fn
+	if id != "fuzz" {
+		allIDs = append(allIDs, id)
+	}
+}
+
+func init() {
+	register("e1", runE1)
+	register("e2", runE2)
+	register("e3", runE3)
+	register("e4", runE4)
+	register("e5", runE5)
+	register("e6", runE6)
+	register("e7", runE7)
+	register("e8", runE8)
+	register("e9", runE9)
+	register("e10", runE10)
+	register("e11", runE11)
+	register("e12", runE12)
+	register("e13", runE13)
+	register("e14", runE14)
+	register("e15", runE15)
+	register("e16", runE16)
+	register("e17", runE17)
+	register("e18", runE18)
+	register("a1", runA1)
+	register("a2", runA2)
+	register("a3", runA3)
+	register("a4", runA4)
+	register("fuzz", runFuzz)
+}
 
 // valueFlags take a separate value argument (`-scale 2`); everything
 // else is boolean-ish or uses `-flag=value` form.
@@ -122,7 +171,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] [-json] [-trace[=file.json]] [-profile] <experiment>...
 experiments: `+strings.Join(allIDs, " ")+` all
-fuzzing:     benchlake [-seed N] [-trials N] [-queries N] fuzz`)
+fuzzing:     benchlake [-seed N] [-trials N] [-queries N] [-serve] fuzz`)
 }
 
 // emitJSON writes one result struct as <name>.json for machine
@@ -216,33 +265,6 @@ func slowest(traces []*obs.Trace) *obs.Trace {
 // runner executes one experiment, prints its table, and returns the
 // result struct for -json emission.
 type runner func(ob *obsSetup) (any, error)
-
-// experiments is the uniform dispatch table: every entry gets the same
-// -json/-trace/-profile handling from run().
-var experiments = map[string]runner{
-	"e1":   runE1,
-	"e2":   runE2,
-	"e3":   runE3,
-	"e4":   runE4,
-	"e5":   runE5,
-	"e6":   runE6,
-	"e7":   runE7,
-	"e8":   runE8,
-	"e9":   runE9,
-	"e10":  runE10,
-	"e11":  runE11,
-	"e12":  runE12,
-	"e13":  runE13,
-	"e14":  runE14,
-	"e15":  runE15,
-	"e16":  runE16,
-	"e17":  runE17,
-	"a1":   runA1,
-	"a2":   runA2,
-	"a3":   runA3,
-	"a4":   runA4,
-	"fuzz": runFuzz,
-}
 
 func run(id string, multi bool) error {
 	fn, ok := experiments[id]
@@ -498,6 +520,28 @@ func runE17(_ *obsSetup) (any, error) {
 	return res, nil
 }
 
+func runE18(_ *obsSetup) (any, error) {
+	res, err := exp.RunE18(*scale)
+	if err != nil {
+		return nil, err
+	}
+	header("E18 | multi-tenant query service: admission control, fairness, graceful overload")
+	fmt.Printf("calibrated warm service time: %v per query\n", res.ServiceEst)
+	fmt.Printf("%-6s %8s %10s %7s %10s %10s %8s %12s %12s %12s\n",
+		"load", "offered", "completed", "failed", "shed(full)", "shed(wait)", "qps", "p50", "p99", "p999")
+	for _, r := range res.Rows {
+		fmt.Printf("%-6s %8d %10d %7d %10d %10d %8.0f %12s %12s %12s\n",
+			fmt.Sprintf("%.1fx", r.Load), r.Offered, r.Completed, r.Failed,
+			r.RejQueueFull, r.RejQueueWait, r.GoodputQPS, r.P50, r.P99, r.P999)
+	}
+	fmt.Printf("goodput: peak=%.0f qps, at max load=%.0f qps, ratio=%.2f (graceful if >= 0.8)\n",
+		res.PeakGoodput, res.GoodputAtMaxLoad, res.GoodputMaxRatio)
+	fmt.Printf("fairness: equal-weight max/min=%.2f (want <= 2)  4:1-weight heavy/light=%.2f (want > 1)\n",
+		res.EqualFairRatio, res.WeightedRatio)
+	fmt.Println("(every shed is a typed overloaded/retry-after error, counted in the serve metrics)")
+	return res, nil
+}
+
 func runA1(_ *obsSetup) (any, error) {
 	res, err := exp.RunA1(*scale)
 	if err != nil {
@@ -544,12 +588,17 @@ func runA4(_ *obsSetup) (any, error) {
 }
 
 func runFuzz(ob *obsSetup) (any, error) {
-	header(fmt.Sprintf("FUZZ | differential oracle soak (seed=%d trials=%d queries=%d)",
-		*fuzzSeed, *fuzzTrials, *fuzzQueries))
+	mode := ""
+	if *fuzzServe {
+		mode = " serve=on"
+	}
+	header(fmt.Sprintf("FUZZ | differential oracle soak (seed=%d trials=%d queries=%d%s)",
+		*fuzzSeed, *fuzzTrials, *fuzzQueries, mode))
 	rep, err := oracle.Run(oracle.Options{
 		Seed:    *fuzzSeed,
 		Trials:  *fuzzTrials,
 		Queries: *fuzzQueries,
+		Serve:   *fuzzServe,
 		Tracer:  ob.tracer,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)

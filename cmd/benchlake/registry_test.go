@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestRegisterPanicsOnDuplicate is the guard satellite: registering an
+// id twice must panic at init time instead of silently shadowing the
+// earlier experiment.
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register("e1", nil) // e1 is already registered by init
+}
+
+// TestRegistryConsistent pins the invariants run() and usage() rely
+// on: allIDs mirrors the dispatch table minus fuzz, in registration
+// order, with no nil runners.
+func TestRegistryConsistent(t *testing.T) {
+	if len(allIDs) != len(experiments)-1 {
+		t.Fatalf("allIDs has %d entries, experiments %d (fuzz should be the only difference)",
+			len(allIDs), len(experiments))
+	}
+	for _, id := range allIDs {
+		if id == "fuzz" {
+			t.Fatal("fuzz leaked into the all expansion")
+		}
+		if experiments[id] == nil {
+			t.Fatalf("experiment %q has a nil runner", id)
+		}
+	}
+	if experiments["fuzz"] == nil {
+		t.Fatal("fuzz is not registered")
+	}
+	for i, id := range []string{"e1", "e2"} {
+		if allIDs[i] != id {
+			t.Fatalf("allIDs[%d] = %q, want %q — registration order lost", i, allIDs[i], id)
+		}
+	}
+	if last := allIDs[len(allIDs)-1]; last != "a4" {
+		t.Fatalf("allIDs ends with %q, want a4", last)
+	}
+}

@@ -304,6 +304,13 @@ func NewContext(p security.Principal, queryID string) *QueryContext {
 	return &QueryContext{Principal: p, QueryID: queryID}
 }
 
+// Cancel cooperatively kills the query by collapsing its retry budget:
+// the next deadline check any operation performs fails with
+// resilience.ErrCanceled. Callers that need to cancel from another
+// goroutine must seed Budget before execution starts (the serve layer
+// does); with a nil Budget this is a no-op.
+func (ctx *QueryContext) Cancel() { ctx.Budget.Cancel() }
+
 // Result is a completed query.
 type Result struct {
 	Batch *vector.Batch

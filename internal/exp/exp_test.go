@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
+	"time"
 )
 
 // These tests assert the paper-shaped outcome of every experiment at
@@ -378,5 +380,80 @@ func TestE17ContentionShape(t *testing.T) {
 	}
 	if last := res.Rows[len(res.Rows)-1]; last.Aborts == 0 {
 		t.Fatal("256 writers produced zero conflicts — contention generator is broken")
+	}
+}
+
+// e18TestConfig is a small-but-meaningful E18 shape for tests: enough
+// tenants and overload to exercise shedding and both fairness
+// sub-runs, small enough to run in seconds.
+func e18TestConfig() E18Config {
+	return E18Config{
+		Seed: 5, Tenants: 48, QueriesPerTenant: 4,
+		MaxConcurrent: 2, MaxQueue: 8, MaxQueueWait: 100 * time.Millisecond,
+		LoadMultiples: []float64{0.5, 1, 2, 4},
+		FairTenants:   8, FairQueries: 24,
+		Chaos: true, CalibrationQueries: 12,
+	}
+}
+
+func TestE18OverloadShape(t *testing.T) {
+	res, err := RunE18Config(e18TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Offered != 48*4 {
+			t.Fatalf("load %.1f: offered = %d", r.Load, r.Offered)
+		}
+		// The serve layer's registry must count exactly the sheds the
+		// harness observed — typed, not lost.
+		if int64(r.RejQueueFull) != r.ObsQueueFull || int64(r.RejQueueWait) != r.ObsQueueWait {
+			t.Fatalf("load %.1f: harness sheds (%d,%d) != obs (%d,%d)",
+				r.Load, r.RejQueueFull, r.RejQueueWait, r.ObsQueueFull, r.ObsQueueWait)
+		}
+	}
+	under, over := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if under.RejQueueFull+under.RejQueueWait > under.Offered/10 {
+		t.Fatalf("0.5x load shed %d+%d of %d — admission too aggressive",
+			under.RejQueueFull, under.RejQueueWait, under.Offered)
+	}
+	if over.RejQueueFull+over.RejQueueWait == 0 {
+		t.Fatalf("4x load shed nothing: %+v", over)
+	}
+	if over.Completed == 0 {
+		t.Fatal("4x load collapsed goodput to zero")
+	}
+	// Graceful degradation: goodput at 4x within 20% of the peak.
+	if res.GoodputMaxRatio < 0.8 {
+		t.Fatalf("goodput collapsed under overload: 4x/peak = %.2f (peak %.0f qps, 4x %.0f qps)",
+			res.GoodputMaxRatio, res.PeakGoodput, res.GoodputAtMaxLoad)
+	}
+	if res.EqualFairRatio > 2 {
+		t.Fatalf("equal-weight tenants diverged: max/min = %.2f", res.EqualFairRatio)
+	}
+	if res.WeightedRatio <= 1 {
+		t.Fatalf("weight-4 tenants did not outpace weight-1: ratio = %.2f", res.WeightedRatio)
+	}
+}
+
+// TestE18Deterministic reruns the same config and requires bit-equal
+// results — the property that makes soak regressions diffs, not
+// noise.
+func TestE18Deterministic(t *testing.T) {
+	cfg := e18TestConfig()
+	cfg.Tenants, cfg.LoadMultiples = 16, []float64{2}
+	a, err := RunE18Config(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE18Config(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"biglake/internal/objstore"
 	"biglake/internal/obs"
 	"biglake/internal/security"
+	"biglake/internal/serve"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
 	"biglake/internal/vector"
@@ -94,6 +95,12 @@ type Options struct {
 	// Tracer, when set, records a span tree for every engine query the
 	// run executes (profiling soak: set a Cap to bound retention).
 	Tracer *obs.Tracer
+	// Serve additionally routes every matrix SELECT through a serve
+	// session (parse -> prepare -> admit -> paged cursor) on the same
+	// engine and diffs the reassembled stream against the direct
+	// library execution — the session layer must be invisible to
+	// results.
+	Serve bool
 }
 
 // Report is the outcome of a differential run.
@@ -175,6 +182,50 @@ type harness struct {
 	rep    *Report
 	logf   func(format string, args ...any)
 	tracer *obs.Tracer
+	serve  bool
+	// sessions caches one serve session per cell engine so the serve
+	// arm reuses warmed server state the way a real client would.
+	sessions map[*engine.Engine]*serve.Session
+}
+
+// serveSession returns (building on first use) the serve-path session
+// for one cell engine. Small pages on purpose: most results span
+// several pages, so reassembly is actually exercised.
+func (h *harness) serveSession(eng *engine.Engine) (*serve.Session, error) {
+	if s, ok := h.sessions[eng]; ok {
+		return s, nil
+	}
+	srv := serve.New(eng, nil, serve.Config{PageRows: 7})
+	s, err := srv.Open(diffAdmin, fmt.Sprintf("fzs-%d", len(h.sessions)))
+	if err != nil {
+		return nil, err
+	}
+	h.sessions[eng] = s
+	return s, nil
+}
+
+// serveRun executes one SELECT through the serve session path —
+// pinning the same query ID as the direct run so the retry budget's
+// jitter seed matches — and reassembles the paged stream.
+func (h *harness) serveRun(eng *engine.Engine, qid, sql string) (*Resultset, error) {
+	sess, err := h.serveSession(eng)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sess.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p.SetQueryID(qid)
+	cur, err := p.Execute()
+	if err != nil {
+		return nil, err
+	}
+	b, err := cur.All()
+	if err != nil {
+		return nil, err
+	}
+	return FromBatch(b), nil
 }
 
 // engineFor builds a fresh engine (and metadata cache) for one cell.
@@ -418,6 +469,28 @@ func (h *harness) runMatrix(phase string, queries []GenQuery) *Divergence {
 			default:
 				if d := diffResults(got, oras[qi].rs, q.Ordered); d != "" {
 					return h.diverge(phase, cfg, q, d)
+				}
+			}
+			if h.serve {
+				sgot, serr := h.serveRun(eng, qid, q.SQL)
+				h.rep.Executions++
+				switch {
+				case serr != nil && err != nil:
+					// Both paths reject the statement: consistent.
+				case cfg.Faults && (serr != nil) != (err != nil):
+					// The serve arm replays the query against a fault
+					// injector that has advanced, so its failures (or
+					// successes where the direct arm drew a fault) are
+					// accepted the same way direct fault errors are.
+					h.rep.FaultErrors++
+				case serr != nil:
+					return h.diverge(phase, cfg, q, "serve path error: "+serr.Error()+" (direct execution succeeded)")
+				case err != nil:
+					return h.diverge(phase, cfg, q, "serve path succeeded where direct execution was rejected")
+				default:
+					if d := diffResults(sgot, got, true); d != "" {
+						return h.diverge(phase, cfg, q, "serve path diverged from direct execution: "+d)
+					}
 				}
 			}
 		}
@@ -708,7 +781,10 @@ func runTrial(rep *Report, seed uint64, trial int, opts Options, logf func(strin
 	}
 	gen := NewGen(seed)
 	tables := gen.Tables()
-	h := &harness{w: w, db: NewDB(), seed: seed, trial: trial, rep: rep, logf: logf, tracer: opts.Tracer}
+	h := &harness{
+		w: w, db: NewDB(), seed: seed, trial: trial, rep: rep, logf: logf, tracer: opts.Tracer,
+		serve: opts.Serve, sessions: map[*engine.Engine]*serve.Session{},
+	}
 	if err := h.install(tables); err != nil {
 		return nil, err
 	}

@@ -27,6 +27,7 @@ var (
 	seedFlag    = flag.Uint64("seed", 1, "differential fuzzer base seed")
 	trialsFlag  = flag.Int("trials", 0, "worlds per run (0 = default)")
 	queriesFlag = flag.Int("queries", 0, "queries per world per phase (0 = default)")
+	serveFlag   = flag.Bool("serve", false, "also diff every SELECT through the serve session path")
 )
 
 // TestDifferential is the main cross-check: every generated query
@@ -37,6 +38,7 @@ func TestDifferential(t *testing.T) {
 		Seed:    *seedFlag,
 		Trials:  *trialsFlag,
 		Queries: *queriesFlag,
+		Serve:   *serveFlag,
 		Log:     t.Logf,
 	}
 	rep, err := Run(opts)
@@ -51,6 +53,23 @@ func TestDifferential(t *testing.T) {
 	}
 	t.Logf("ok: %d trials, %d queries, %d engine executions, %d accepted fault errors",
 		rep.Trials, rep.Queries, rep.Executions, rep.FaultErrors)
+}
+
+// TestDifferentialServe routes every matrix SELECT through the serve
+// session path (parse -> prepare -> admit -> paged cursor) alongside
+// the direct library call: the server layer must never change an
+// answer. A smaller campaign than TestDifferential since every SELECT
+// runs twice per cell.
+func TestDifferentialServe(t *testing.T) {
+	rep, err := Run(Options{Seed: *seedFlag, Trials: 1, Queries: 24, Serve: true, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("serve-mode differential run failed: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Fatal(rep.Divergence.Format())
+	}
+	t.Logf("ok: %d queries, %d executions (serve arm included), %d accepted fault errors",
+		rep.Queries, rep.Executions, rep.FaultErrors)
 }
 
 // TestDifferentialDeterministic asserts the whole campaign is a pure

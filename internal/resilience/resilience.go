@@ -41,7 +41,37 @@ var (
 	// ErrBudgetExhausted reports that the per-query retry budget was
 	// spent. The wrapped cause remains visible to Classify.
 	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+	// ErrCanceled reports that the query's budget was cooperatively
+	// canceled (Budget.Cancel); it classifies as Deadline so every
+	// abort path treats a kill like an expired time budget.
+	ErrCanceled = errors.New("resilience: query canceled")
+	// ErrOverloaded is the sentinel all OverloadError values match:
+	// admission control shed this request before it consumed capacity.
+	// Retrying after OverloadError.RetryAfter is safe and expected.
+	ErrOverloaded = errors.New("resilience: overloaded")
 )
+
+// OverloadError is the typed "overloaded, retry later" error an
+// admission controller returns instead of collapsing under load. It
+// matches ErrOverloaded via errors.Is and carries a backoff hint.
+type OverloadError struct {
+	// Op names the shedding component, e.g. "serve.admission".
+	Op string
+	// Reason is the shed cause: "queue_full", "queue_wait",
+	// "memory", or "concurrency".
+	Reason string
+	// RetryAfter is the suggested simulated-time backoff before the
+	// caller resubmits; derived from observed service times so the
+	// hint tracks actual drain rate.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%s: %v (%s), retry after %v", e.Op, ErrOverloaded, e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // Class buckets an error by how the caller should react.
 type Class int
@@ -78,8 +108,10 @@ func (c Class) String() string {
 // the fault that was being retried when time ran out.
 func Classify(err error) Class {
 	switch {
-	case errors.Is(err, ErrDeadlineExceeded):
+	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, ErrCanceled):
 		return Deadline
+	case errors.Is(err, ErrOverloaded):
+		return Retryable
 	case errors.Is(err, objstore.ErrPreconditionFail):
 		return CASConflict
 	case errors.Is(err, objstore.ErrTransient):
@@ -152,6 +184,7 @@ type Budget struct {
 	rng      *sim.RNG
 	retries  int
 	deadline time.Duration // absolute sim time; 0 = none
+	canceled bool
 }
 
 // NewBudget returns a budget of `retries` total retries for one query.
@@ -171,6 +204,30 @@ func (b *Budget) SetDeadline(at time.Duration) {
 	b.mu.Unlock()
 }
 
+// Cancel cooperatively kills the query: every subsequent deadline
+// check — Policy.Do performs one at the top of each attempt — fails
+// with ErrCanceled, so the query unwinds at its next object-store
+// operation. Safe to call from a different goroutine than the one
+// running the query, and idempotent.
+func (b *Budget) Cancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.canceled = true
+	b.mu.Unlock()
+}
+
+// Canceled reports whether Cancel was called.
+func (b *Budget) Canceled() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.canceled
+}
+
 // Remaining returns the unspent retry count.
 func (b *Budget) Remaining() int {
 	if b == nil {
@@ -186,15 +243,20 @@ func (b *Budget) Remaining() int {
 // private track counts against the deadline too.
 type timeSource interface{ Now() time.Duration }
 
-// CheckDeadline reports ErrDeadlineExceeded if the budget's deadline
-// has passed on ch's frontier (falling back to the global clock).
+// CheckDeadline reports ErrCanceled if the budget was canceled, or
+// ErrDeadlineExceeded if the budget's deadline has passed on ch's
+// frontier (falling back to the global clock).
 func (b *Budget) CheckDeadline(ch sim.Charger) error {
 	if b == nil {
 		return nil
 	}
 	b.mu.Lock()
 	d := b.deadline
+	canceled := b.canceled
 	b.mu.Unlock()
+	if canceled {
+		return ErrCanceled
+	}
 	if d <= 0 {
 		return nil
 	}

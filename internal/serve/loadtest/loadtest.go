@@ -1,0 +1,358 @@
+// Package loadtest is the seeded, deterministic load/soak driver for
+// the serve layer. It replaces wall-clock concurrency with a single-
+// threaded virtual-time event loop: arrivals and completions are heap-
+// ordered events, each admitted query executes synchronously against
+// the engine (its service time measured as the simulated-clock delta),
+// and its completion is scheduled back onto the virtual timeline at
+// grant time + service time. Admission, queueing, weighted-fair
+// scheduling, and load shedding therefore behave exactly as they would
+// under thousands of concurrent tenants — but every run with the same
+// seed is bit-identical, so soak results are comparable across
+// machines and regressions are diffs, not noise.
+package loadtest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"biglake/internal/resilience"
+	"biglake/internal/security"
+	"biglake/internal/serve"
+	"biglake/internal/sim"
+)
+
+// Query is one generated statement plus its traffic class ("olap",
+// "point", "dml", ...) for reporting.
+type Query struct {
+	SQL  string
+	Kind string
+}
+
+// Gen produces tenant traffic. It must be deterministic in its
+// arguments: the harness calls it in event order with a per-tenant
+// seeded RNG.
+type Gen func(rng *sim.RNG, tenant, seq int) Query
+
+// Config shapes one load run.
+type Config struct {
+	// Seed drives every random choice (arrival jitter, query mix).
+	Seed uint64
+	// Tenants is the number of synthetic tenants; each gets its own
+	// server session and principal.
+	Tenants int
+	// QueriesPerTenant fixes each tenant's offered arrivals, so
+	// Offered = Tenants * QueriesPerTenant exactly.
+	QueriesPerTenant int
+	// Interarrival is the virtual time between one tenant's arrivals,
+	// jittered ±50% by the seeded RNG. Lower = more offered load.
+	Interarrival time.Duration
+	// Gen generates each query.
+	Gen Gen
+	// TenantPrincipal names tenant i; default "t%04d@bench".
+	TenantPrincipal func(i int) security.Principal
+}
+
+// Principal returns tenant i's principal under cfg.
+func (cfg Config) Principal(i int) security.Principal {
+	if cfg.TenantPrincipal != nil {
+		return cfg.TenantPrincipal(i)
+	}
+	return security.Principal(fmt.Sprintf("t%04d@bench", i))
+}
+
+// Result is one run's aggregate report. All fields are deterministic
+// functions of (server state, Config), so two same-seed runs must be
+// reflect.DeepEqual.
+type Result struct {
+	Offered   int
+	Completed int
+	// Failed counts admitted queries that errored during execution or
+	// streaming (chaos faults, deadlines).
+	Failed int
+	// Rejected counts load-shed submissions by typed reason:
+	// queue_full, queue_wait, quota, other.
+	Rejected map[string]int
+	// EgressBytes sums result bytes streamed to completed queries.
+	EgressBytes int64
+	// Makespan is the virtual time of the last event.
+	Makespan time.Duration
+	// P50/P99/P999 are completed-query latencies (arrival → final page
+	// delivered) on the virtual timeline.
+	P50, P99, P999 time.Duration
+	// GoodputQPS is completed queries per virtual second.
+	GoodputQPS float64
+	// PerTenantCompleted is indexed by tenant.
+	PerTenantCompleted []int
+	// FairMin/FairMax/FairRatio summarize per-tenant goodput spread
+	// (min clamped to 1 so the ratio stays finite and JSON-safe).
+	FairMin, FairMax int
+	FairRatio        float64
+	// ByKind counts completions per traffic class.
+	ByKind map[string]int
+	// Checksum folds every completion and rejection into one value —
+	// the cheap way to assert two runs took identical trajectories.
+	Checksum uint64
+}
+
+const (
+	evArrival = iota
+	evComplete
+)
+
+type event struct {
+	at      time.Duration
+	seq     int64
+	kind    int
+	tenant  int
+	qseq    int
+	arrival time.Duration
+	cur     *serve.Cursor
+	class   string
+}
+
+// eventHeap orders by (at, seq): virtual time, then scheduling order.
+type eventHeap []*event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	e := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		(*h)[i], (*h)[least] = (*h)[least], (*h)[i]
+		i = least
+	}
+	return e
+}
+
+// MinService floors each measured service time so a fully-cached query
+// still occupies capacity for a nonzero slice of virtual time.
+const MinService = 100 * time.Microsecond
+
+// Run drives the server with cfg's synthetic tenants and returns the
+// aggregate report. Deterministic: same seed, same server state, same
+// Result.
+func Run(srv *serve.Server, cfg Config) (*Result, error) {
+	if cfg.Tenants <= 0 || cfg.QueriesPerTenant <= 0 || cfg.Gen == nil {
+		return nil, errors.New("loadtest: Tenants, QueriesPerTenant, and Gen are required")
+	}
+	if cfg.Interarrival <= 0 {
+		cfg.Interarrival = 50 * time.Millisecond
+	}
+
+	res := &Result{
+		Rejected:           map[string]int{},
+		ByKind:             map[string]int{},
+		PerTenantCompleted: make([]int, cfg.Tenants),
+	}
+	sum := fnv.New64a()
+	mix := func(vals ...int64) {
+		var buf [8]byte
+		for _, v := range vals {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(uint64(v) >> (8 * i))
+			}
+			sum.Write(buf[:])
+		}
+	}
+
+	sessions := make([]*serve.Session, cfg.Tenants)
+	rngs := make([]*sim.RNG, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		s, err := srv.Open(cfg.Principal(i), fmt.Sprintf("lt%04d", i))
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = s
+		rngs[i] = sim.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	var heap eventHeap
+	var eseq int64
+	schedule := func(e *event) {
+		eseq++
+		e.seq = eseq
+		heap.push(e)
+	}
+
+	// Pre-schedule every arrival: tenant phases are staggered across
+	// one interarrival period, each subsequent gap jittered ±50%.
+	for i := 0; i < cfg.Tenants; i++ {
+		at := time.Duration(float64(cfg.Interarrival) * float64(i) / float64(cfg.Tenants))
+		for k := 0; k < cfg.QueriesPerTenant; k++ {
+			schedule(&event{at: at, kind: evArrival, tenant: i, qseq: k})
+			gap := float64(cfg.Interarrival) * (0.5 + rngs[i].Float64())
+			at += time.Duration(gap)
+		}
+	}
+
+	var latencies []time.Duration
+	var loopErr error
+	for len(heap) > 0 && loopErr == nil {
+		ev := heap.pop()
+		now := ev.at
+		if now > res.Makespan {
+			res.Makespan = now
+		}
+		switch ev.kind {
+		case evArrival:
+			i := ev.tenant
+			q := cfg.Gen(rngs[i], i, ev.qseq)
+			p, err := sessions[i].Parse(q.SQL)
+			if err != nil {
+				loopErr = fmt.Errorf("loadtest: tenant %d generated unparsable SQL %q: %w", i, q.SQL, err)
+				break
+			}
+			if err := p.Prepare(); err != nil {
+				loopErr = err
+				break
+			}
+			res.Offered++
+			arrival := now
+			p.ExecuteAt(now, func(grantedAt time.Duration, run func() (*serve.Cursor, error), err error) {
+				if err != nil {
+					res.Rejected[rejectReason(err)]++
+					mix(int64(i), int64(ev.qseq), -1, int64(len(res.Rejected)))
+					return
+				}
+				start := srv.Clock()
+				cur, rerr := run()
+				if rerr != nil {
+					res.Failed++
+					mix(int64(i), int64(ev.qseq), -2, 0)
+					return
+				}
+				// Drain the paged stream now — the engine consumes
+				// simulated time here — and land the completion on the
+				// virtual timeline at grant + measured service time.
+				for {
+					pg, perr := cur.Next()
+					if perr != nil {
+						res.Failed++
+						mix(int64(i), int64(ev.qseq), -3, 0)
+						cur.CloseAt(grantedAt)
+						return
+					}
+					if pg == nil {
+						break
+					}
+				}
+				svc := srv.Clock() - start
+				if svc < MinService {
+					svc = MinService
+				}
+				schedule(&event{
+					at: grantedAt + svc, kind: evComplete, tenant: i, qseq: ev.qseq,
+					arrival: arrival, cur: cur, class: q.Kind,
+				})
+			})
+		case evComplete:
+			ev.cur.CloseAt(now)
+			res.Completed++
+			res.PerTenantCompleted[ev.tenant]++
+			res.EgressBytes += ev.cur.Egress()
+			lat := now - ev.arrival
+			latencies = append(latencies, lat)
+			if ev.class != "" {
+				res.ByKind[ev.class]++
+			}
+			mix(int64(ev.tenant), int64(ev.qseq), int64(lat), ev.cur.Egress())
+		}
+	}
+	if loopErr != nil {
+		return nil, loopErr
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = percentile(latencies, 0.50)
+	res.P99 = percentile(latencies, 0.99)
+	res.P999 = percentile(latencies, 0.999)
+	if res.Makespan > 0 {
+		res.GoodputQPS = float64(res.Completed) / res.Makespan.Seconds()
+	}
+	res.FairMin = math.MaxInt
+	for _, c := range res.PerTenantCompleted {
+		if c < res.FairMin {
+			res.FairMin = c
+		}
+		if c > res.FairMax {
+			res.FairMax = c
+		}
+	}
+	if res.FairMin == math.MaxInt {
+		res.FairMin = 0
+	}
+	den := res.FairMin
+	if den < 1 {
+		den = 1
+	}
+	res.FairRatio = float64(res.FairMax) / float64(den)
+	res.Checksum = sum.Sum64()
+	return res, nil
+}
+
+func rejectReason(err error) string {
+	var oe *resilience.OverloadError
+	if errors.As(err, &oe) {
+		return oe.Reason
+	}
+	if errors.Is(err, serve.ErrQuotaExceeded) {
+		return "quota"
+	}
+	return "other"
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,122 @@
+package serve
+
+// wfq is a virtual-time weighted fair queue over admission tickets
+// (self-clocked fair queuing). Each tenant is a flow with a weight; a
+// queued ticket is stamped with a virtual finish tag
+//
+//	start  = max(queue.vtime, flow.lastFinish)
+//	finish = start + cost/weight
+//
+// and the queue always releases the smallest finish tag, ties broken
+// by arrival order. Backlogged tenants therefore drain estimated
+// bytes in proportion to their weights, while a flow that went idle
+// rejoins at the current virtual time instead of cashing in credit
+// saved while it was away.
+type wfq struct {
+	items []*ticket // min-heap on (vfinish, seq)
+	flows map[string]*wfqFlow
+	vtime float64
+}
+
+type wfqFlow struct {
+	lastFinish float64
+	queued     int
+}
+
+func newWFQ() *wfq { return &wfq{flows: map[string]*wfqFlow{}} }
+
+func (q *wfq) len() int { return len(q.items) }
+
+// push stamps the ticket's finish tag under the flow's weight and
+// inserts it.
+func (q *wfq) push(t *ticket, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	f := q.flows[t.tenant]
+	if f == nil {
+		f = &wfqFlow{}
+		q.flows[t.tenant] = f
+	}
+	start := q.vtime
+	if f.lastFinish > start {
+		start = f.lastFinish
+	}
+	t.vfinish = start + float64(t.cost)/weight
+	f.lastFinish = t.vfinish
+	f.queued++
+	q.items = append(q.items, t)
+	q.up(len(q.items) - 1)
+}
+
+// peek returns the earliest-finishing ticket without removing it.
+func (q *wfq) peek() *ticket {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// pop removes and returns the earliest-finishing ticket, advancing
+// virtual time to its finish tag.
+func (q *wfq) pop() *ticket {
+	t := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	if t.vfinish > q.vtime {
+		q.vtime = t.vfinish
+	}
+	if f := q.flows[t.tenant]; f != nil {
+		f.queued--
+		// An idle flow's lastFinish is only history; drop the entry so
+		// tenant churn cannot grow the map without bound. The max() in
+		// push restores the same behaviour when the flow returns.
+		if f.queued == 0 && f.lastFinish <= q.vtime {
+			delete(q.flows, t.tenant)
+		}
+	}
+	return t
+}
+
+func (q *wfq) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.vfinish != b.vfinish {
+		return a.vfinish < b.vfinish
+	}
+	return a.seq < b.seq
+}
+
+func (q *wfq) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *wfq) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.less(l, least) {
+			least = l
+		}
+		if r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
+}

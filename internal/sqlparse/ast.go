@@ -135,6 +135,84 @@ type RollbackStmt struct{}
 
 func (*RollbackStmt) stmt() {}
 
+// Kind classifies a statement for routing, admission costing, and
+// per-kind metrics: "select", "insert", "update", "delete", "ctas",
+// "begin", "commit", or "rollback".
+func Kind(s Statement) string {
+	switch s.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt:
+		return "insert"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	case *CreateTableAsStmt:
+		return "ctas"
+	case *BeginStmt:
+		return "begin"
+	case *CommitStmt:
+		return "commit"
+	case *RollbackStmt:
+		return "rollback"
+	}
+	return "unknown"
+}
+
+// ReferencedTables returns every named table a statement reads or
+// writes — subqueries, joins, and TVF inputs included — deduplicated
+// in first-reference order. Callers use it to size admission costs
+// before planning.
+func ReferencedTables(s Statement) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkSel func(sel *SelectStmt)
+	var walkRef func(ref *TableRef)
+	walkRef = func(ref *TableRef) {
+		if ref == nil {
+			return
+		}
+		add(ref.Name)
+		if ref.Subquery != nil {
+			walkSel(ref.Subquery)
+		}
+		if ref.TVF != nil {
+			walkRef(ref.TVF.Input)
+		}
+	}
+	walkSel = func(sel *SelectStmt) {
+		if sel == nil {
+			return
+		}
+		walkRef(sel.From)
+		for i := range sel.Joins {
+			walkRef(sel.Joins[i].Table)
+		}
+	}
+	switch st := s.(type) {
+	case *SelectStmt:
+		walkSel(st)
+	case *InsertStmt:
+		add(st.Table)
+		walkSel(st.Select)
+	case *UpdateStmt:
+		add(st.Table)
+	case *DeleteStmt:
+		add(st.Table)
+	case *CreateTableAsStmt:
+		add(st.Table)
+		walkSel(st.Select)
+	}
+	return out
+}
+
 // Expr is any scalar expression.
 type Expr interface {
 	fmt.Stringer

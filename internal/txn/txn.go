@@ -337,11 +337,20 @@ func (s *Session) Exec(sql string) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.ExecStmt(nil, stmt)
+}
+
+// ExecStmt executes a parsed statement inside the transaction. A nil
+// ctx derives a session-tagged context; a caller-supplied one (the
+// serve layer passes a context whose retry budget it can cancel) is
+// bound to the session — its Txn/Mutator hooks are overwritten — so
+// reads pin to the snapshot and DML lands in the write buffer.
+func (s *Session) ExecStmt(ctx *engine.QueryContext, stmt sqlparse.Statement) (*engine.Result, error) {
 	switch stmt.(type) {
 	case *sqlparse.BeginStmt:
 		return nil, ErrNested
 	case *sqlparse.CommitStmt:
-		v, err := s.Commit(nil)
+		v, err := s.Commit(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +371,13 @@ func (s *Session) Exec(sql string) (*engine.Result, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	return s.m.Eng.Execute(s.newCtx("s"), stmt)
+	if ctx == nil {
+		ctx = s.newCtx("s")
+	} else {
+		ctx.Txn = s
+		ctx.Mutator = s
+	}
+	return s.m.Eng.Execute(ctx, stmt)
 }
 
 // --- engine.Mutator: buffered writes ---
