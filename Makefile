@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve bench bench-smoke obs ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve integrity bench bench-smoke obs ci
 
 all: build
 
@@ -88,6 +88,22 @@ serve:
 	$(GO) test -race -run 'TestE18' -v ./internal/exp/
 	$(GO) test -run 'TestDifferentialServe' ./internal/oracle/
 
+# The integrity gate: checksums end to end under injected silent
+# corruption. Format-level bit-flip detection, WAL torn-write recovery,
+# the scan-cache poisoning guard and quarantine containment, the
+# budgeted scrubber, the corruption-injection determinism suite, the
+# oracle corruption sweep (zero silent wrong answers), and the E19
+# detect -> contain -> repair experiment.
+integrity:
+	$(GO) test -run 'TestRoundTrip|TestVerify' ./internal/colfmt/
+	$(GO) test -race -run 'TestRecover' ./internal/wal/
+	$(GO) test -race -run 'TestScanCache|TestQuarantined' ./internal/engine/
+	$(GO) test -race ./internal/scrub/
+	$(GO) test -run 'TestCorruption' ./internal/objstore/
+	$(GO) test -run 'TestQuarantineLifecycle' ./internal/bigmeta/
+	$(GO) test -run 'TestIntegrity' -v ./internal/oracle/
+	$(GO) test -race -run 'TestE19' -v ./internal/exp/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -98,4 +114,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race obs chaos fuzz crash txn serve bench-smoke
+ci: vet build test race obs chaos fuzz crash txn serve integrity bench-smoke

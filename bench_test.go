@@ -329,3 +329,32 @@ func BenchmarkE18QueryService(b *testing.B) {
 		b.ReportMetric(res.EqualFairRatio, "fair_max_min_x")
 	}
 }
+
+// BenchmarkE19Integrity: the end-to-end integrity sweep — silent
+// corruption at rest and in flight, typed containment, budgeted scrub,
+// and replica repair restoring full availability (DESIGN.md experiment
+// E19).
+func BenchmarkE19Integrity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE19(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WrongAnswers != 0 {
+			b.Fatalf("silent wrong answers: %d", res.WrongAnswers)
+		}
+		var detected, damaged, scrubBytes int
+		for _, r := range res.Rows {
+			damaged += r.Damaged
+			detected += int(r.DetectionRate * float64(r.Damaged))
+			scrubBytes += int(r.ScrubBytes)
+		}
+		b.ReportMetric(float64(detected)/float64(damaged), "detection_rate")
+		b.ReportMetric(float64(scrubBytes)/float64(len(res.Rows)), "scrub_bytes_per_rate")
+		restored := 0.0
+		if res.RestoredAtOnePercent {
+			restored = 1
+		}
+		b.ReportMetric(restored, "repair_restores_1pct")
+	}
+}

@@ -86,6 +86,7 @@ func init() {
 	register("e16", runE16)
 	register("e17", runE17)
 	register("e18", runE18)
+	register("e19", runE19)
 	register("a1", runA1)
 	register("a2", runA2)
 	register("a3", runA3)
@@ -539,6 +540,27 @@ func runE18(_ *obsSetup) (any, error) {
 	fmt.Printf("fairness: equal-weight max/min=%.2f (want <= 2)  4:1-weight heavy/light=%.2f (want > 1)\n",
 		res.EqualFairRatio, res.WeightedRatio)
 	fmt.Println("(every shed is a typed overloaded/retry-after error, counted in the serve metrics)")
+	return res, nil
+}
+
+func runE19(_ *obsSetup) (any, error) {
+	res, err := exp.RunE19(*scale)
+	if err != nil {
+		return nil, err
+	}
+	header("E19 | end-to-end integrity: silent corruption, quarantine, self-healing repair")
+	fmt.Printf("%-6s %8s %8s %8s %7s %6s %8s %7s %9s %10s %9s %10s %6s\n",
+		"rate", "damaged", "typed", "wrong", "heals", "scrubs", "scrubMB", "detect", "scrubTime", "rewritten", "reverify", "repairTime", "avail")
+	for _, r := range res.Rows {
+		fmt.Printf("%-6s %8d %8d %8d %7d %6d %8.2f %6.0f%% %9s %10d %9d %10s %6v\n",
+			fmt.Sprintf("%.1f%%", r.Rate*100), r.Damaged, r.TypedFailures, r.WrongAnswers,
+			r.RefetchHeals, r.ScrubPasses, float64(r.ScrubBytes)/(1<<20), r.DetectionRate*100,
+			r.ScrubTime, r.Rewritten, r.Reverified, r.RepairTime, r.FullAvailability)
+	}
+	fmt.Printf("wrong answers across the sweep: %d (invariant: 0)\n", res.WrongAnswers)
+	fmt.Printf("all damaged objects detected: %v   repair restores availability at >=1%%: %v\n",
+		res.AllDetected, res.RestoredAtOnePercent)
+	fmt.Println("(corruption degrades to typed integrity errors; scrub and repair heal the table in place)")
 	return res, nil
 }
 

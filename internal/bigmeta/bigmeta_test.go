@@ -537,3 +537,71 @@ func TestCommitTxIfValidatesAgainstConcurrentCommits(t *testing.T) {
 		t.Fatalf("CommitTxIf at head: %v", err)
 	}
 }
+
+// TestQuarantineLifecycle pins the containment bookkeeping: sealed
+// quarantine commits, idempotent re-quarantine, lifting by
+// Unquarantine, and the Removed-clears-marks rule that lets repair
+// swap a file and lift its mark in one commit.
+func TestQuarantineLifecycle(t *testing.T) {
+	_, _, clock := testEnv()
+	log := NewLog(clock, nil)
+	if _, err := log.Commit("loader", map[string]TableDelta{"ds.t": {Added: []FileEntry{
+		{Bucket: "lake", Key: "t/a.blk", Size: 1},
+		{Bucket: "lake", Key: "t/b.blk", Size: 1},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	mark := QuarantineMark{Key: "t/a.blk", Source: "scrub", Reason: "crc mismatch", Time: clock.Now()}
+	v1, err := log.QuarantineFile("scrubber", "ds.t", mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := log.IsQuarantined("ds.t", "t/a.blk"); !ok || got.Reason != "crc mismatch" {
+		t.Fatalf("IsQuarantined = %+v, %v", got, ok)
+	}
+	if _, ok := log.IsQuarantined("ds.t", "t/b.blk"); ok {
+		t.Fatal("healthy file quarantined")
+	}
+	// Re-quarantining the same key is a no-op: no extra commit.
+	v2, err := log.QuarantineFile("scrubber", "ds.t", mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1 || log.Version() != v1 {
+		t.Fatalf("re-quarantine committed: v1=%d v2=%d version=%d", v1, v2, log.Version())
+	}
+	if _, err := log.QuarantineFile("scrubber", "ds.t", QuarantineMark{}); err == nil {
+		t.Fatal("empty-key quarantine accepted")
+	}
+
+	// Unquarantine lifts the mark.
+	if _, err := log.Commit("repair", map[string]TableDelta{"ds.t": {Unquarantine: []string{"t/a.blk"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if marks := log.Quarantined("ds.t"); len(marks) != 0 {
+		t.Fatalf("marks after unquarantine = %+v", marks)
+	}
+
+	// Removing a quarantined file clears its mark in the same commit —
+	// the repair path's atomic swap.
+	if _, err := log.QuarantineFile("scrubber", "ds.t", mark); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Commit("repair", map[string]TableDelta{"ds.t": {
+		Removed: []string{"t/a.blk"},
+		Added:   []FileEntry{{Bucket: "lake", Key: "t/a2.blk", Size: 1}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if marks := log.Quarantined("ds.t"); len(marks) != 0 {
+		t.Fatalf("Removed did not clear the mark: %+v", marks)
+	}
+	files, _, err := log.Snapshot("ds.t", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("snapshot = %+v", files)
+	}
+}

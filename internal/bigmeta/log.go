@@ -22,6 +22,12 @@ const CommitLatency = 2 * time.Millisecond
 type TableDelta struct {
 	Added   []FileEntry
 	Removed []string // object keys
+	// Quarantine marks files as integrity-quarantined; Unquarantine
+	// lifts marks (a successful repair). Both ride inside sealed
+	// commits so containment state is as durable as the data it
+	// protects. See quarantine.go.
+	Quarantine   []QuarantineMark
+	Unquarantine []string
 }
 
 // CommitRecord is one entry in a table's tamper-proof history.
@@ -115,6 +121,12 @@ type Log struct {
 	// committed them.
 	sink    CommitSink
 	applied map[string]int64
+
+	// quarantined is current-state containment: table → key → mark.
+	// Maintained incrementally as commits apply (and on Restore), not
+	// versioned — a file that is sick now is sick for pinned readers of
+	// old snapshots too.
+	quarantined map[string]map[string]QuarantineMark
 
 	// pins caches historical (pre-baseline) snapshots so a pinned
 	// reader replays the audit history at most once per (table,
@@ -253,8 +265,10 @@ func (l *Log) CommitTxIf(principal string, opts TxOptions, deltas map[string]Tab
 	for table, d := range deltas {
 		rec.Tables = append(rec.Tables, table)
 		cp := TableDelta{
-			Added:   append([]FileEntry(nil), d.Added...),
-			Removed: append([]string(nil), d.Removed...),
+			Added:        append([]FileEntry(nil), d.Added...),
+			Removed:      append([]string(nil), d.Removed...),
+			Quarantine:   append([]QuarantineMark(nil), d.Quarantine...),
+			Unquarantine: append([]string(nil), d.Unquarantine...),
 		}
 		rec.Deltas[table] = cp
 	}
@@ -281,6 +295,7 @@ func (l *Log) CommitTxIf(principal string, opts TxOptions, deltas map[string]Tab
 	l.version = rec.Version
 	l.tail = append(l.tail, rec)
 	l.history = append(l.history, rec)
+	l.applyQuarantineLocked(rec)
 	if opts.TxnID != "" {
 		l.applied[opts.TxnID] = rec.Version
 	}
@@ -316,14 +331,17 @@ func (l *Log) Restore(commits []TxCommit) error {
 		for table, d := range c.Deltas {
 			rec.Tables = append(rec.Tables, table)
 			rec.Deltas[table] = TableDelta{
-				Added:   append([]FileEntry(nil), d.Added...),
-				Removed: append([]string(nil), d.Removed...),
+				Added:        append([]FileEntry(nil), d.Added...),
+				Removed:      append([]string(nil), d.Removed...),
+				Quarantine:   append([]QuarantineMark(nil), d.Quarantine...),
+				Unquarantine: append([]string(nil), d.Unquarantine...),
 			}
 		}
 		sort.Strings(rec.Tables)
 		l.version = c.Version
 		l.tail = append(l.tail, rec)
 		l.history = append(l.history, rec)
+		l.applyQuarantineLocked(rec)
 		if c.TxnID != "" {
 			l.applied[c.TxnID] = c.Version
 		}

@@ -22,11 +22,16 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"biglake/internal/integrity"
 	"biglake/internal/vector"
 )
 
 // Magic trails the file, like Parquet's "PAR1".
 const Magic = "BLK1"
+
+// trailerLen is the fixed trailer after the footer JSON: 4 bytes of
+// footer CRC-32C, 4 bytes of footer length, then the magic.
+const trailerLen = 12
 
 // ColumnStats summarizes one column within a row group or file.
 type ColumnStats struct {
@@ -60,7 +65,11 @@ type ChunkMeta struct {
 	Column string      `json:"column"`
 	Offset int64       `json:"offset"`
 	Length int64       `json:"length"`
-	Stats  ColumnStats `json:"stats"`
+	// CRC is the CRC-32C of the encoded chunk bytes, verified on every
+	// decode so a flipped bit in the body becomes a typed error, never
+	// a silent mis-decode.
+	CRC   uint32      `json:"crc"`
+	Stats ColumnStats `json:"stats"`
 }
 
 // RowGroupMeta describes one row group.
@@ -234,6 +243,7 @@ func (w *Writer) flushGroup(b *vector.Batch) error {
 			Column: w.schema.Fields[i].Name,
 			Offset: int64(w.body.Len()),
 			Length: int64(len(chunk)),
+			CRC:    integrity.Checksum(chunk),
 			Stats: ColumnStats{
 				Min:      FromValue(min),
 				Max:      FromValue(max),
@@ -263,6 +273,9 @@ func (w *Writer) Finish() ([]byte, error) {
 	out := bytes.Buffer{}
 	out.Write(w.body.Bytes())
 	out.Write(footerJSON)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], integrity.Checksum(footerJSON))
+	out.Write(crcBuf[:])
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(footerJSON)))
 	out.Write(lenBuf[:])
@@ -282,33 +295,79 @@ func WriteFile(b *vector.Batch, opts WriterOptions) ([]byte, error) {
 // FooterSize returns the byte length of the footer region (footer JSON
 // + trailer) for a file, so callers can model a ranged footer read.
 func FooterSize(file []byte) (int64, error) {
-	if len(file) < 8 || string(file[len(file)-4:]) != Magic {
-		return 0, fmt.Errorf("colfmt: not a columnar file")
+	if len(file) < trailerLen || string(file[len(file)-4:]) != Magic {
+		return 0, &integrity.Error{Source: "colfmt.footer", Detail: "not a columnar file: missing magic trailer"}
 	}
 	flen := binary.LittleEndian.Uint32(file[len(file)-8 : len(file)-4])
-	return int64(flen) + 8, nil
+	return int64(flen) + trailerLen, nil
 }
 
-// ReadFooter parses the footer from complete file bytes.
+// ReadFooter parses and checksum-verifies the footer from complete
+// file bytes. A truncated file, a mangled trailer, or a flipped bit
+// anywhere in the footer JSON surfaces as a typed integrity error.
 func ReadFooter(file []byte) (*Footer, error) {
-	if len(file) < 8 || string(file[len(file)-4:]) != Magic {
-		return nil, fmt.Errorf("colfmt: missing magic trailer")
+	if len(file) < trailerLen || string(file[len(file)-4:]) != Magic {
+		return nil, &integrity.Error{Source: "colfmt.footer", Detail: "missing magic trailer"}
 	}
 	flen := int(binary.LittleEndian.Uint32(file[len(file)-8 : len(file)-4]))
-	if flen+8 > len(file) {
-		return nil, fmt.Errorf("colfmt: footer length %d exceeds file size %d", flen, len(file))
+	if flen < 0 || flen+trailerLen > len(file) {
+		return nil, &integrity.Error{Source: "colfmt.footer",
+			Detail: fmt.Sprintf("footer length %d exceeds file size %d", flen, len(file))}
+	}
+	footerJSON := file[len(file)-trailerLen-flen : len(file)-trailerLen]
+	want := binary.LittleEndian.Uint32(file[len(file)-trailerLen : len(file)-8])
+	if got := integrity.Checksum(footerJSON); got != want {
+		return nil, &integrity.Error{Source: "colfmt.footer",
+			Detail: fmt.Sprintf("footer checksum mismatch: got %08x want %08x", got, want)}
 	}
 	var f Footer
-	if err := json.Unmarshal(file[len(file)-8-flen:len(file)-8], &f); err != nil {
-		return nil, fmt.Errorf("colfmt: bad footer: %w", err)
+	if err := json.Unmarshal(footerJSON, &f); err != nil {
+		return nil, &integrity.Error{Source: "colfmt.footer", Detail: "bad footer JSON: " + err.Error()}
 	}
 	return &f, nil
 }
 
-// ReadChunk decodes one column chunk from file bytes.
+// ReadChunk checksum-verifies and decodes one column chunk from file
+// bytes. Any mismatch between the stored CRC and the bytes on hand is
+// a typed integrity error naming the column, never a mis-decode.
 func ReadChunk(file []byte, m ChunkMeta) (*vector.Column, error) {
-	if m.Offset < 0 || m.Offset+m.Length > int64(len(file)) {
-		return nil, fmt.Errorf("colfmt: chunk %s out of bounds", m.Column)
+	if m.Offset < 0 || m.Length < 0 || m.Offset+m.Length > int64(len(file)) {
+		return nil, &integrity.Error{Source: "colfmt.chunk", Block: m.Column,
+			Detail: fmt.Sprintf("chunk [%d,+%d) out of bounds of %d-byte file", m.Offset, m.Length, len(file))}
 	}
-	return vector.DecodeColumn(file[m.Offset : m.Offset+m.Length])
+	raw := file[m.Offset : m.Offset+m.Length]
+	if got := integrity.Checksum(raw); got != m.CRC {
+		return nil, &integrity.Error{Source: "colfmt.chunk", Block: m.Column,
+			Detail: fmt.Sprintf("chunk checksum mismatch: got %08x want %08x", got, m.CRC)}
+	}
+	col, err := vector.DecodeColumn(raw)
+	if err != nil {
+		return nil, &integrity.Error{Source: "colfmt.chunk", Block: m.Column,
+			Detail: "decode failed despite matching checksum: " + err.Error()}
+	}
+	return col, nil
+}
+
+// Verify walks the whole file — footer and every chunk CRC — without
+// decoding any data. It is the scrubber's unit of work: nil means the
+// bytes at rest match every embedded checksum.
+func Verify(file []byte) error {
+	f, err := ReadFooter(file)
+	if err != nil {
+		return err
+	}
+	for gi, rg := range f.RowGroups {
+		for _, m := range rg.Chunks {
+			if m.Offset < 0 || m.Length < 0 || m.Offset+m.Length > int64(len(file)) {
+				return &integrity.Error{Source: "colfmt.chunk", Block: m.Column,
+					Detail: fmt.Sprintf("row group %d chunk [%d,+%d) out of bounds of %d-byte file",
+						gi, m.Offset, m.Length, len(file))}
+			}
+			if got := integrity.Checksum(file[m.Offset : m.Offset+m.Length]); got != m.CRC {
+				return &integrity.Error{Source: "colfmt.chunk", Block: m.Column,
+					Detail: fmt.Sprintf("row group %d chunk checksum mismatch: got %08x want %08x", gi, got, m.CRC)}
+			}
+		}
+	}
+	return nil
 }

@@ -112,6 +112,13 @@ type Options struct {
 	// aggregation paths; kept as the baseline for the E15 speedup
 	// comparison and as the reference arm of differential tests.
 	RowAtATimeExec bool
+	// SkipQuarantined lets scans skip integrity-quarantined files with
+	// a warning event ("integrity.warnings") instead of failing the
+	// query with a typed error — an explicit opt-in for
+	// availability-over-completeness workloads. Off by default: wrong
+	// is worse than down, and silently narrowing results must be a
+	// conscious choice.
+	SkipQuarantined bool
 }
 
 // DefaultOptions is the production configuration.
@@ -258,7 +265,10 @@ type ExecStats struct {
 	// file's decoded batch without re-fetching or re-decoding it.
 	CacheHits   int64
 	CacheMisses int64
-	SimStart    time.Duration
+	// QuarantineSkips counts quarantined files the scan omitted under
+	// Options.SkipQuarantined (each omission also logs a warning).
+	QuarantineSkips int64
+	SimStart        time.Duration
 	SimElapsed  time.Duration
 }
 

@@ -18,6 +18,7 @@ type engCounters struct {
 	rows         *obs.Counter
 	cacheHit     *obs.Counter
 	cacheMiss    *obs.Counter
+	qskips       *obs.Counter
 	cacheEntries *obs.Gauge
 	cacheBytes   *obs.Gauge
 	simElapsed   *obs.Histogram
@@ -38,6 +39,7 @@ func resolveEngCounters(r *obs.Registry) engCounters {
 		rows:         r.Counter("engine.scan.rows"),
 		cacheHit:     r.Counter("engine.scan.cache_hit"),
 		cacheMiss:    r.Counter("engine.scan.cache_miss"),
+		qskips:       r.Counter("engine.scan.quarantine_skipped"),
 		cacheEntries: r.Gauge("engine.scan.cache_entries"),
 		cacheBytes:   r.Gauge("engine.scan.cache_bytes"),
 		simElapsed:   r.Histogram("engine.query.sim_elapsed_us", simElapsedBounds),
@@ -91,6 +93,7 @@ func (e *Engine) mirrorStats(pre, post ExecStats) {
 	e.ec.rows.Add(post.RowsScanned - pre.RowsScanned)
 	e.ec.cacheHit.Add(post.CacheHits - pre.CacheHits)
 	e.ec.cacheMiss.Add(post.CacheMisses - pre.CacheMisses)
+	e.ec.qskips.Add(post.QuarantineSkips - pre.QuarantineSkips)
 	e.ec.simElapsed.Observe(int64(post.SimElapsed / time.Microsecond))
 }
 

@@ -9,6 +9,7 @@ import (
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/colfmt"
+	"biglake/internal/integrity"
 	"biglake/internal/objstore"
 	"biglake/internal/obs"
 	"biglake/internal/resilience"
@@ -339,6 +340,7 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 	results := make([]*vector.Batch, len(files))
 	hits := make([]bool, len(files))
 	misses := make([]bool, len(files))
+	skips := make([]bool, len(files))
 	tracks := startTracks(e.Clock, ScanWorkers)
 	var wg sync.WaitGroup
 	errs := make(chan error, len(files))
@@ -363,11 +365,31 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 				fsp.End()
 			}()
 
+			// Containment gate: a quarantined file fails fast with a
+			// typed error naming table and file — or is skipped with a
+			// warning under the explicit opt-in.
+			if e.Log != nil {
+				if m, qok := e.Log.IsQuarantined(t.FullName(), f.Key); qok {
+					if e.Opts.SkipQuarantined {
+						skips[i] = true
+						fsp.SetStr("quarantined", "skipped")
+						e.Obs.Counter("integrity.quarantine_skips").Add(1)
+						e.Obs.Event("integrity.warnings",
+							fmt.Sprintf("skipping quarantined file %s/%s of table %s: %s", f.Bucket, f.Key, t.FullName(), m.Reason))
+						return
+					}
+					errs <- &integrity.Error{Source: "engine.quarantine", Table: t.FullName(),
+						Bucket: f.Bucket, Key: f.Key, Detail: "file is quarantined: " + m.Reason}
+					return
+				}
+			}
+
 			// Generation-keyed scan cache: an object generation pins
 			// immutable content, so a known-generation hit skips both
-			// the GET and the decode.
-			cacheKey := scanCacheKey{Cloud: t.Cloud, Bucket: f.Bucket, Key: f.Key, Generation: f.Generation}
+			// the GET and the decode. Entries are only ever populated
+			// from decodes that passed CRC verification.
 			if e.scanCache != nil && f.Generation > 0 {
+				cacheKey := scanCacheKey{Cloud: t.Cloud, Bucket: f.Bucket, Key: f.Key, Generation: f.Generation}
 				if full, ok := e.scanCache.get(cacheKey); ok {
 					hits[i] = true
 					fsp.SetStr("cache", "hit")
@@ -381,66 +403,47 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 				}
 			}
 
-			var data []byte
-			var info objstore.ObjectInfo
-			err := e.Res.HedgedDo(tr, ctx.Budget, "GET "+f.Bucket+"/"+f.Key, func(ch sim.Charger) error {
-				d, oi, ge := store.GetOn(ch, cred, f.Bucket, f.Key)
-				if ge != nil {
-					return ge
+			rd, err := e.readFileOnce(ctx, tr, fsp, store, cred, t, f, filePreds)
+			if err != nil && errors.Is(err, integrity.ErrCorrupt) {
+				// Detected corruption: evict every cached generation of
+				// the object and re-fetch once from a fresh source. A
+				// sick *response* heals here; a sick *stored copy* fails
+				// again and is quarantined.
+				e.recordDetection(err)
+				if e.scanCache != nil {
+					e.scanCache.evictObject(t.Cloud, f.Bucket, f.Key)
 				}
-				data, info = d, oi
-				return nil
-			})
-			if err != nil {
-				errs <- err
-				return
-			}
-			if e.scanCache != nil {
-				// The file-entry generation may be unknown (0): the GET
-				// just told us the real one, so the decode may still be
-				// reusable — or worth caching for the next query.
-				cacheKey.Generation = info.Generation
-				if full, ok := e.scanCache.get(cacheKey); ok {
-					hits[i] = true
-					fsp.SetStr("cache", "hit")
-					b, err := finishDecoded(full, filePreds, f, t)
-					if err != nil {
-						errs <- err
+				fsp.SetStr("integrity", "refetch")
+				rd2, err2 := e.readFileOnce(ctx, tr, fsp, store, cred, t, f, filePreds)
+				switch {
+				case err2 == nil:
+					e.Obs.Counter("integrity.recovered.refetch").Add(1)
+					rd, err = rd2, nil
+				case errors.Is(err2, integrity.ErrCorrupt):
+					e.recordDetection(err2)
+					if e.scanCache != nil {
+						e.scanCache.evictObject(t.Cloud, f.Bucket, f.Key)
+					}
+					fsp.SetStr("integrity", "quarantined")
+					skipped, ferr := e.containCorrupt(ctx, t, f, err2)
+					if skipped {
+						skips[i] = true
+						e.Obs.Counter("integrity.quarantine_skips").Add(1)
 						return
 					}
-					results[i] = b
+					errs <- ferr
+					return
+				default:
+					errs <- err2
 					return
 				}
-				misses[i] = true
-				fsp.SetStr("cache", "miss")
-				full, err := decodeFile(data, nil)
-				if err != nil {
-					errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
-					return
-				}
-				e.scanCache.put(cacheKey, full)
-				b, err := finishDecoded(full, filePreds, f, t)
-				if err != nil {
-					errs <- err
-					return
-				}
-				results[i] = b
-				return
 			}
-
-			b, err := decodeFile(data, filePreds)
-			if err != nil {
-				errs <- fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err)
-				return
-			}
-			// Inject partition columns as constant columns so queries
-			// can reference them.
-			b, err = injectPartitionColumns(b, f.Partition, t)
 			if err != nil {
 				errs <- err
 				return
 			}
-			results[i] = b
+			hits[i], misses[i] = rd.hit, rd.miss
+			results[i] = rd.batch
 		}(i, f)
 	}
 	wg.Wait()
@@ -452,6 +455,9 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 		}
 		if misses[i] {
 			ctx.Stats.CacheMisses++
+		}
+		if skips[i] {
+			ctx.Stats.QuarantineSkips++
 		}
 	}
 	if err := drainErrs(errs); err != nil {

@@ -111,6 +111,36 @@ func (c *scanCache) put(key scanCacheKey, b *vector.Batch) {
 	c.bytes.Set(c.used)
 }
 
+// removeLocked unlinks one element and updates occupancy gauges.
+func (c *scanCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*scanCacheEntry)
+	c.lru.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= ent.bytes
+	c.entries.Set(int64(c.lru.Len()))
+	c.bytes.Set(c.used)
+}
+
+// evictObject removes every cached generation of one object — the
+// cache-poisoning guard. A decode that fails checksum verification
+// must never populate the cache, and any resident entry for the same
+// object is no longer trusted either (the store may be serving stale
+// or rotten bytes); dropping all generations forces the next read to
+// re-fetch and re-verify from the source. Returns how many entries
+// were dropped.
+func (c *scanCache) evictObject(cloud, bucket, key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.items {
+		if k.Cloud == cloud && k.Bucket == bucket && k.Key == key {
+			c.removeLocked(el)
+			n++
+		}
+	}
+	return n
+}
+
 // batchBytes estimates the in-memory size of a decoded batch.
 func batchBytes(b *vector.Batch) int64 {
 	var n int64

@@ -457,3 +457,80 @@ func TestE18Deterministic(t *testing.T) {
 		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+// e19TestConfig is a small E19 shape: enough files that the swept
+// rates damage 1 and 5 objects, small enough to run in seconds.
+func e19TestConfig() E19Config {
+	return E19Config{
+		Seed: 3, Rates: []float64{0.01, 0.05},
+		Files: 100, RowsPerFile: 8, Queries: 9,
+	}
+}
+
+// TestE19IntegritySweep pins the detect -> contain -> repair arc: no
+// query ever returns a wrong answer, every damaged object is detected
+// and quarantined, and repair restores bit-exact golden answers.
+func TestE19IntegritySweep(t *testing.T) {
+	res, err := RunE19Config(e19TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.WrongAnswers != 0 {
+		t.Fatalf("silent wrong answers: %d", res.WrongAnswers)
+	}
+	if !res.AllDetected || !res.RestoredAtOnePercent {
+		t.Fatalf("headline criteria failed: %+v", res)
+	}
+	for _, r := range res.Rows {
+		if r.Damaged == 0 {
+			t.Fatalf("rate %.3f damaged nothing — test shape too small", r.Rate)
+		}
+		if r.OtherFailures != 0 {
+			t.Fatalf("rate %.3f: %d untyped failures", r.Rate, r.OtherFailures)
+		}
+		// Containment: corruption degrades to typed failures, never to
+		// silently wrong rows.
+		if r.TypedFailures == 0 {
+			t.Fatalf("rate %.3f: at-rest damage produced no typed failures", r.Rate)
+		}
+		if r.DetectionRate != 1 {
+			t.Fatalf("rate %.3f: detection rate %.2f", r.Rate, r.DetectionRate)
+		}
+		// The default budget is half the corpus, so a full walk takes at
+		// least two resumed passes.
+		if r.ScrubPasses < 2 || r.ScrubBytes == 0 {
+			t.Fatalf("rate %.3f: scrub passes=%d bytes=%d", r.Rate, r.ScrubPasses, r.ScrubBytes)
+		}
+		// Repair rewrites exactly the damaged objects; marks from in-flight
+		// double corruption re-verify clean.
+		if r.Rewritten != r.Damaged || r.RepairFailed != 0 {
+			t.Fatalf("rate %.3f: rewritten=%d damaged=%d failed=%d",
+				r.Rate, r.Rewritten, r.Damaged, r.RepairFailed)
+		}
+		if !r.FullAvailability {
+			t.Fatalf("rate %.3f: availability not restored: %+v", r.Rate, r)
+		}
+	}
+}
+
+// TestE19Deterministic reruns the same config and requires bit-equal
+// results.
+func TestE19Deterministic(t *testing.T) {
+	cfg := e19TestConfig()
+	cfg.Rates = []float64{0.02}
+	cfg.Files, cfg.Queries = 50, 6
+	a, err := RunE19Config(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE19Config(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,107 @@
+// Package integrity defines the shared vocabulary of end-to-end data
+// integrity: the checksum every durable byte range carries (CRC-32C,
+// the polynomial object stores and Parquet implementations use for
+// exactly this job) and the typed error that surfaces when verification
+// fails. The paper's premise is that BigLake runs on commodity
+// multi-cloud object stores where bit rot, torn writes, and stale reads
+// are a fact of life; this package is the layer every component —
+// colfmt files, WAL records, the scan path, the scrubber — bottoms out
+// in, so "wrong data" always becomes a loud, classifiable error instead
+// of a silent wrong answer.
+//
+// The package deliberately has no dependencies on the rest of the
+// repository: objstore, colfmt, wal, resilience, and the engine all
+// import it, never the reverse.
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorrupt is the sentinel every integrity failure matches via
+// errors.Is. The resilience layer classifies it as Corrupt: never
+// blindly retried against the same bytes, only re-fetched from an
+// alternate source or escalated to quarantine.
+var ErrCorrupt = errors.New("integrity: data corruption detected")
+
+// castagnoli is the CRC-32C table (iSCSI polynomial), shared and
+// immutable after init.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of data — the checksum colfmt chunks,
+// colfmt footers, and WAL records embed.
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// Error is a typed corruption report naming exactly what failed
+// verification, so a query error can say "table X, file Y, block Z"
+// instead of "bad data somewhere". All fields are optional except
+// Source; layers that lack context (colfmt verifying raw bytes) leave
+// the location fields empty and callers that have it (the scan path)
+// annotate them in.
+type Error struct {
+	// Source names the verification site: "colfmt.footer",
+	// "colfmt.chunk", "wal.record", "objstore.stale",
+	// "objstore.truncated", "engine.quarantine", "scrub".
+	Source string
+	// Table is the fully qualified table name, when known.
+	Table string
+	// Bucket/Key locate the corrupt object, when known.
+	Bucket string
+	Key    string
+	// Block identifies the failing unit inside the object (a column
+	// chunk, a row group, a journal record sequence number).
+	Block string
+	// Detail is the human-readable mismatch description.
+	Detail string
+}
+
+// Error renders the report with every known location component.
+func (e *Error) Error() string {
+	msg := "integrity: " + e.Source
+	if e.Table != "" {
+		msg += " table=" + e.Table
+	}
+	if e.Bucket != "" || e.Key != "" {
+		msg += " object=" + e.Bucket + "/" + e.Key
+	}
+	if e.Block != "" {
+		msg += " block=" + e.Block
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true for every *Error.
+func (e *Error) Is(target error) bool { return target == ErrCorrupt }
+
+// Errorf builds a typed corruption error with a formatted detail.
+func Errorf(source, format string, args ...any) *Error {
+	return &Error{Source: source, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Annotate fills the empty location fields of a corruption error with
+// the caller's context and returns it; non-integrity errors pass
+// through untouched. Layers add what they know as the error climbs:
+// colfmt knows the block, the scan worker knows the object and table.
+func Annotate(err error, table, bucket, key string) error {
+	var ie *Error
+	if !errors.As(err, &ie) {
+		return err
+	}
+	if ie.Table == "" {
+		ie.Table = table
+	}
+	if ie.Bucket == "" {
+		ie.Bucket = bucket
+	}
+	if ie.Key == "" {
+		ie.Key = key
+	}
+	return err
+}

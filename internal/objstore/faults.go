@@ -81,6 +81,18 @@ type FaultProfile struct {
 	// remote cost, so hedged reads can race it.
 	SlowdownRate float64
 	Slowdown     time.Duration
+
+	// CorruptRate is the probability in [0,1) that a GET response body
+	// is *silently* corrupted: no error is returned, the bytes are just
+	// wrong. Three kinds are chosen deterministically per event — a
+	// single flipped bit, a truncated body, or stale-object substitution
+	// (the previous generation's bytes served with the previous
+	// generation's metadata). Unlike Rate faults these are invisible to
+	// the retry layer; only end-to-end checksums and generation pinning
+	// catch them.
+	CorruptRate float64
+	// PerBucketCorrupt overrides CorruptRate for specific buckets.
+	PerBucketCorrupt map[string]float64
 }
 
 func (p FaultProfile) rateFor(op Op, bucket string) float64 {
@@ -89,6 +101,14 @@ func (p FaultProfile) rateFor(op Op, bucket string) float64 {
 		r = v
 	}
 	if v, ok := p.PerBucket[bucket]; ok {
+		r = v
+	}
+	return r
+}
+
+func (p FaultProfile) corruptRateFor(bucket string) float64 {
+	r := p.CorruptRate
+	if v, ok := p.PerBucketCorrupt[bucket]; ok {
 		r = v
 	}
 	return r
@@ -113,10 +133,11 @@ func (r FaultRecord) String() string {
 // order — the same determinism contract the old FaultLog accessor
 // provided.
 type injector struct {
-	prof    FaultProfile
-	mu      sync.Mutex
-	counts  map[string]uint64 // per (op,bucket,key) call counter
-	streaks map[string]int    // forced faults remaining per stream
+	prof     FaultProfile
+	mu       sync.Mutex
+	counts   map[string]uint64 // per (op,bucket,key) call counter
+	streaks  map[string]int    // forced faults remaining per stream
+	corrupts map[string]uint64 // per (op,bucket,key) corruption call counter
 }
 
 // splitmix64 finalizer: turns a structured input into uniform bits.
@@ -180,14 +201,59 @@ func (in *injector) decide(op Op, bucket, key string, ch sim.Charger, s *Store) 
 	return nil
 }
 
+// corruption is one decided silent-corruption event: which kind to
+// apply and a uniform position in [0,1) locating the damage.
+type corruption struct {
+	kind string  // "bitflip", "truncate", or "stale"
+	pos  float64 // uniform [0,1): bit position or truncation point
+	call uint64
+}
+
+// corruptDecide consumes one GET against the corruption stream and
+// returns the corruption to apply, if any. Corruption uses its own
+// per-key call counter and roll streams (2 = decision, 3 = kind,
+// 4 = position) so enabling it never perturbs the fault/slowdown
+// sequences of an existing seed.
+func (in *injector) corruptDecide(op Op, bucket, key string) (corruption, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.prof.corruptRateFor(bucket)
+	if r <= 0 {
+		return corruption{}, false
+	}
+	streamKey := op.String() + "|" + bucket + "|" + key
+	call := in.corrupts[streamKey]
+	in.corrupts[streamKey]++
+	if roll(in.prof.Seed, streamKey, call, 2) >= r {
+		return corruption{}, false
+	}
+	c := corruption{pos: roll(in.prof.Seed, streamKey, call, 4), call: call}
+	switch k := roll(in.prof.Seed, streamKey, call, 3); {
+	case k < 1.0/3:
+		c.kind = "bitflip"
+	case k < 2.0/3:
+		c.kind = "truncate"
+	default:
+		c.kind = "stale"
+	}
+	return c, true
+}
+
 // recordFault publishes one injected event: legacy meter counter,
-// registry counter, and the "objstore.faults" event stream.
+// registry counter, and the "objstore.faults" event stream. Corruption
+// events additionally land in per-kind "integrity.injected.<kind>"
+// counters so tests can diff harness-injected vs detected counts.
 func (s *Store) recordFault(rec FaultRecord) {
 	oc := s.counters()
-	if rec.Kind == "slowdown" {
+	switch {
+	case rec.Kind == "slowdown":
 		s.meter.Add("slowdowns_injected", 1)
 		oc.slowdowns.Add(1)
-	} else {
+	case strings.HasPrefix(rec.Kind, "corrupt:"):
+		s.meter.Add("corruptions_injected", 1)
+		oc.corruptions.Add(1)
+		s.Obs().Counter("integrity.injected." + strings.TrimPrefix(rec.Kind, "corrupt:")).Add(1)
+	default:
 		s.meter.Add("faults_injected", 1)
 		oc.faults.Add(1)
 	}
@@ -201,9 +267,10 @@ func (s *Store) InjectFaults(p FaultProfile) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inj = &injector{
-		prof:    p,
-		counts:  make(map[string]uint64),
-		streaks: make(map[string]int),
+		prof:     p,
+		counts:   make(map[string]uint64),
+		streaks:  make(map[string]int),
+		corrupts: make(map[string]uint64),
 	}
 }
 

@@ -182,3 +182,130 @@ func TestFailNextFiresBeforeProfile(t *testing.T) {
 		t.Fatalf("no profile events expected, got %v", got)
 	}
 }
+
+// corruptWorkload overwrites every key once (so stale substitution has
+// a previous generation to serve) and then issues a burst of GETs,
+// returning (corruption events, non-corruption events) in canonical
+// order.
+func corruptWorkload(t *testing.T, st *Store, cred Credential) (corrupt, other []string) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("c/k%02d", i)
+		st.Put(cred, "b", key, []byte("payload-v1-"+key), "")
+		st.Put(cred, "b", key, []byte("payload-v2-"+key), "")
+		for j := 0; j < 12; j++ {
+			st.Get(cred, "b", key)
+		}
+	}
+	for _, ev := range st.Obs().Events("objstore.faults") {
+		if strings.HasPrefix(ev, "corrupt:") {
+			corrupt = append(corrupt, ev)
+		} else {
+			other = append(other, ev)
+		}
+	}
+	return corrupt, other
+}
+
+// TestCorruptionDeterministicAcrossRuns: the silent-corruption
+// injector is a pure function of (seed, stream, call) — two identical
+// runs produce identical corruption event logs, and at a healthy rate
+// all three corruption kinds occur.
+func TestCorruptionDeterministicAcrossRuns(t *testing.T) {
+	prof := FaultProfile{Seed: 42, CorruptRate: 0.3}
+	var logs [2][]string
+	for run := 0; run < 2; run++ {
+		st, cred := newTestStore()
+		st.InjectFaults(prof)
+		logs[run], _ = corruptWorkload(t, st, cred)
+	}
+	if len(logs[0]) == 0 {
+		t.Fatal("corruption injector never fired")
+	}
+	if fmt.Sprint(logs[0]) != fmt.Sprint(logs[1]) {
+		t.Fatalf("runs differ:\n%v\nvs\n%v", logs[0], logs[1])
+	}
+	kinds := map[string]int{}
+	for _, ev := range logs[0] {
+		kinds[strings.Fields(ev)[0]]++
+	}
+	for _, k := range []string{"corrupt:bitflip", "corrupt:truncate", "corrupt:stale"} {
+		if kinds[k] == 0 {
+			t.Fatalf("kind %s never injected (kinds=%v)", k, kinds)
+		}
+	}
+}
+
+// TestCorruptionCountersMatchEvents: every corrupt:<kind> event lands
+// in the matching integrity.injected.<kind> registry counter.
+func TestCorruptionCountersMatchEvents(t *testing.T) {
+	st, cred := newTestStore()
+	st.InjectFaults(FaultProfile{Seed: 42, CorruptRate: 0.3})
+	events, _ := corruptWorkload(t, st, cred)
+	kinds := map[string]int64{}
+	for _, ev := range events {
+		kinds[strings.TrimPrefix(strings.Fields(ev)[0], "corrupt:")]++
+	}
+	for k, n := range kinds {
+		if got := st.Obs().Get("integrity.injected." + k); got != n {
+			t.Fatalf("integrity.injected.%s = %d, events show %d", k, got, n)
+		}
+	}
+	if st.Meter().Get("corruptions_injected") != int64(len(events)) {
+		t.Fatalf("corruptions_injected = %d, want %d", st.Meter().Get("corruptions_injected"), len(events))
+	}
+}
+
+// TestCorruptionDoesNotPerturbFaultStreams: enabling CorruptRate on an
+// existing seed must not change which calls fault or slow down —
+// corruption draws from its own roll streams and call counters.
+func TestCorruptionDoesNotPerturbFaultStreams(t *testing.T) {
+	base := FaultProfile{Seed: 42, Rate: 0.15, SlowdownRate: 0.1, Slowdown: 20 * time.Millisecond}
+	st1, cred1 := newTestStore()
+	st1.InjectFaults(base)
+	_, plain := corruptWorkload(t, st1, cred1)
+
+	withCorrupt := base
+	withCorrupt.CorruptRate = 0.3
+	st2, cred2 := newTestStore()
+	st2.InjectFaults(withCorrupt)
+	corrupt, faults := corruptWorkload(t, st2, cred2)
+
+	if len(plain) == 0 || len(corrupt) == 0 {
+		t.Fatalf("workload too small: %d faults, %d corruptions", len(plain), len(corrupt))
+	}
+	if fmt.Sprint(plain) != fmt.Sprint(faults) {
+		t.Fatalf("fault/slowdown stream changed when corruption was enabled:\n%v\nvs\n%v", plain, faults)
+	}
+}
+
+// TestCorruptionIsSilent: a corrupted GET returns no error — the bytes
+// are just wrong (flipped, short, or stale) — which is exactly why the
+// read path needs end-to-end checksums and generation pinning.
+func TestCorruptionIsSilent(t *testing.T) {
+	st, cred := newTestStore()
+	orig := []byte("the-true-bytes-of-this-object!")
+	st.Put(cred, "b", "k", []byte("the-previous-generation-bytes!"), "")
+	info, err := st.Put(cred, "b", "k", orig, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.InjectFaults(FaultProfile{Seed: 3, CorruptRate: 1})
+	damaged := 0
+	for i := 0; i < 10; i++ {
+		data, gi, err := st.Get(cred, "b", "k")
+		if err != nil {
+			t.Fatalf("silent corruption returned an error: %v", err)
+		}
+		if string(data) != string(orig) || gi.Generation != info.Generation {
+			damaged++
+		}
+	}
+	if damaged != 10 {
+		t.Fatalf("CorruptRate=1 damaged %d of 10 GETs", damaged)
+	}
+	st.ClearFaults()
+	if data, _, err := st.Get(cred, "b", "k"); err != nil || string(data) != string(orig) {
+		t.Fatalf("stored copy was mutated by response corruption: %q %v", data, err)
+	}
+}

@@ -109,6 +109,11 @@ type ObjectInfo struct {
 type object struct {
 	info ObjectInfo
 	data []byte
+	// prev retains the immediately previous version after a conditional
+	// overwrite — one deep, on purpose — so the chaos harness can model
+	// a stale read: an eventually-consistent replica serving the old
+	// generation's bytes with the old generation's metadata.
+	prev *object
 }
 
 type bucket struct {
@@ -163,6 +168,7 @@ type storeCounters struct {
 	deleteCount          *obs.Counter
 	preconditionFailures *obs.Counter
 	faults, slowdowns    *obs.Counter
+	corruptions          *obs.Counter
 }
 
 func resolveStoreCounters(r *obs.Registry) *storeCounters {
@@ -177,6 +183,7 @@ func resolveStoreCounters(r *obs.Registry) *storeCounters {
 		preconditionFailures: r.Counter("objstore.precondition_failures"),
 		faults:               r.Counter("objstore.faults.injected"),
 		slowdowns:            r.Counter("objstore.slowdowns.injected"),
+		corruptions:          r.Counter("objstore.corruptions.injected"),
 	}
 }
 
@@ -385,6 +392,11 @@ func (s *Store) put(cred Credential, bucketName, key string, data []byte, conten
 		},
 		data: cp,
 	}
+	if existing != nil {
+		// Keep exactly one superseded version for stale-read injection;
+		// drop anything older so overwrite chains stay O(1).
+		obj.prev = &object{info: existing.info, data: existing.data}
+	}
 	if existing == nil {
 		b.keysDirty = true
 	}
@@ -429,6 +441,11 @@ func (s *Store) getRange(ch sim.Charger, cred Credential, bucketName, key string
 		return nil, ObjectInfo{}, err
 	}
 	s.mu.Lock()
+	var cor corruption
+	corrupt := false
+	if in := s.inj; in != nil {
+		cor, corrupt = in.corruptDecide(OpGet, bucketName, key)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		s.mu.Unlock()
@@ -445,20 +462,52 @@ func (s *Store) getRange(ch sim.Charger, cred Credential, bucketName, key string
 		s.counters().getCount.Add(1)
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s/%s", ErrNoSuchObject, bucketName, key)
 	}
+	src := obj
+	if corrupt && cor.kind == "stale" {
+		if obj.prev != nil {
+			src = obj.prev
+		} else {
+			// Never-overwritten object: no stale version exists, degrade
+			// the event to a bit flip so the injection rate holds.
+			cor.kind = "bitflip"
+		}
+	}
 	if offset < 0 {
 		offset = 0
 	}
-	if offset > int64(len(obj.data)) {
-		offset = int64(len(obj.data))
+	if offset > int64(len(src.data)) {
+		offset = int64(len(src.data))
 	}
-	end := int64(len(obj.data))
+	end := int64(len(src.data))
 	if length >= 0 && offset+length < end {
 		end = offset + length
 	}
 	data := make([]byte, end-offset)
-	copy(data, obj.data[offset:end])
-	info := obj.info
+	copy(data, src.data[offset:end])
+	info := src.info
 	s.mu.Unlock()
+
+	if corrupt {
+		applied := ""
+		switch cor.kind {
+		case "bitflip":
+			if len(data) > 0 {
+				bit := int(cor.pos * float64(len(data)*8))
+				data[bit/8] ^= 1 << (bit % 8)
+				applied = "corrupt:bitflip"
+			}
+		case "truncate":
+			if len(data) > 0 {
+				data = data[:int(cor.pos*float64(len(data)))]
+				applied = "corrupt:truncate"
+			}
+		case "stale":
+			applied = "corrupt:stale"
+		}
+		if applied != "" {
+			s.recordFault(FaultRecord{Op: OpGet, Bucket: bucketName, Key: key, Call: cor.call, Kind: applied})
+		}
+	}
 
 	s.meter.Add("requests", 1)
 	s.meter.Add("get_bytes", int64(len(data)))
@@ -665,6 +714,37 @@ func (s *Store) Fetch(url string) ([]byte, ObjectInfo, error) {
 	oc.getBytes.Add(int64(len(data)))
 	s.clock.Advance(s.profile.GetFirstByte + sim.StreamTime(int64(len(data)), s.profile.ReadPerMB))
 	return data, info, nil
+}
+
+// FlipStoredBit flips one bit of an object's stored body in place,
+// without touching generation, size, or timestamps — simulated at-rest
+// bit rot. Unlike FaultProfile corruption (which damages responses in
+// flight) this damages the durable copy, so every future read returns
+// the same wrong bytes until a repair rewrites the object. Harness
+// helper for scrubber/repair experiments, not a cloud API.
+func (s *Store) FlipStoredBit(bucketName, key string, bit int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	obj, ok := b.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoSuchObject, bucketName, key)
+	}
+	total := int64(len(obj.data)) * 8
+	if total == 0 {
+		return fmt.Errorf("objstore: cannot flip a bit of empty object %s/%s", bucketName, key)
+	}
+	bit = ((bit % total) + total) % total
+	// The body may be aliased by a prev-version retained elsewhere;
+	// re-copy before damaging so only this object's bytes rot.
+	cp := make([]byte, len(obj.data))
+	copy(cp, obj.data)
+	cp[bit/8] ^= 1 << uint(bit%8)
+	obj.data = cp
+	return nil
 }
 
 // ObjectCount returns the number of objects with the prefix without

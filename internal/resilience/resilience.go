@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"biglake/internal/integrity"
 	"biglake/internal/objstore"
 	"biglake/internal/sim"
 )
@@ -90,6 +91,14 @@ const (
 	CASConflict
 	// Deadline means the query's time budget expired.
 	Deadline
+	// Corrupt means the bytes failed checksum or generation
+	// verification. Blindly re-running the same read against the same
+	// source is pointless when the stored copy itself rotted — and
+	// under in-flight corruption a retry could *succeed silently*,
+	// hiding a sick replica. Do surfaces Corrupt immediately; the
+	// caller decides between an alternate source (fresh fetch bypassing
+	// caches, a replica) and quarantine. Never retried in place.
+	Corrupt
 )
 
 func (c Class) String() string {
@@ -100,6 +109,8 @@ func (c Class) String() string {
 		return "cas-conflict"
 	case Deadline:
 		return "deadline"
+	case Corrupt:
+		return "corrupt"
 	}
 	return "fatal"
 }
@@ -116,6 +127,8 @@ func Classify(err error) Class {
 		return CASConflict
 	case errors.Is(err, objstore.ErrTransient):
 		return Retryable
+	case errors.Is(err, integrity.ErrCorrupt):
+		return Corrupt
 	default:
 		return Fatal
 	}
@@ -343,6 +356,12 @@ func (p *Policy) Do(ch sim.Charger, b *Budget, name string, op func() error) err
 			p.meter("cas_conflicts", 1)
 			return err
 		case Deadline:
+			return err
+		case Corrupt:
+			// Same-source retry is never the answer for bad bytes;
+			// surface immediately so the caller can try an alternate
+			// source or quarantine.
+			p.meter("corruption_detected", 1)
 			return err
 		default:
 			p.meter("fatal_errors", 1)

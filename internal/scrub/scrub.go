@@ -1,0 +1,213 @@
+// Package scrub implements the background integrity scrubber: a
+// service that walks the live file set of tables, re-reads each object,
+// and verifies it end to end — generation against the snapshot's pinned
+// generation, length against the object's reported size, and every
+// colfmt chunk and footer CRC. Corruption that survives one fresh
+// re-fetch is durable damage, so the scrubber quarantines the file in
+// the transaction log for the repair path (blmt.Repair) to restore.
+//
+// Scrubbing competes with foreground queries for object-store I/O, so
+// each pass runs under a byte budget: a pass that exhausts its budget
+// stops and remembers where it was, and the next pass resumes there,
+// so successive budgeted passes still cover the whole corpus.
+package scrub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"biglake/internal/bigmeta"
+	"biglake/internal/catalog"
+	"biglake/internal/colfmt"
+	"biglake/internal/integrity"
+	"biglake/internal/objstore"
+	"biglake/internal/obs"
+	"biglake/internal/resilience"
+	"biglake/internal/security"
+	"biglake/internal/sim"
+)
+
+// Scrubber verifies stored table data against its checksums.
+type Scrubber struct {
+	Catalog *catalog.Catalog
+	Auth    *security.Authority
+	Log     *bigmeta.Log
+	Clock   *sim.Clock
+	Stores  map[string]*objstore.Store
+
+	// Res retries transient fetch failures; corruption is classified
+	// Corrupt and never blindly retried. Nil behaves like NoRetry.
+	Res *resilience.Policy
+	// Obs receives integrity.scrub.* counters and detection events
+	// (nil-safe).
+	Obs *obs.Registry
+	// Principal signs quarantine commits.
+	Principal string
+	// BytesPerPass caps how many object bytes one Pass may read
+	// (0 = unlimited). A pass over budget stops mid-walk and the next
+	// pass resumes at the same table and key.
+	BytesPerPass int64
+
+	// Resume cursor: the pass stopped just before (cursorTable,
+	// cursorKey). Empty = start from the beginning.
+	cursorTable, cursorKey string
+}
+
+// Report summarizes one scrub pass.
+type Report struct {
+	TablesVisited int
+	FilesVerified int
+	BytesVerified int64
+	// FilesSkipped counts files already quarantined (not re-read).
+	FilesSkipped int
+	// CorruptFound counts files whose stored copy failed verification
+	// (after the one fresh re-fetch); each is quarantined.
+	CorruptFound int
+	Quarantined  int
+	// Recovered counts fetches that verified clean on the re-fetch:
+	// the corruption was in flight, not at rest.
+	Recovered int
+	// Exhausted reports the pass stopped on its byte budget; the next
+	// Pass resumes where this one stopped.
+	Exhausted bool
+}
+
+func (s *Scrubber) store(cloud string) (*objstore.Store, error) {
+	st, ok := s.Stores[cloud]
+	if !ok {
+		return nil, fmt.Errorf("scrub: no object store for cloud %q", cloud)
+	}
+	return st, nil
+}
+
+// verifyObject fetches one live file and verifies it end to end.
+// Verification runs inside the retry op so the policy classifies a
+// bad read as Corrupt and surfaces it instead of blindly retrying the
+// same source.
+func (s *Scrubber) verifyObject(store *objstore.Store, cred objstore.Credential, table string, f bigmeta.FileEntry) (int64, error) {
+	var n int64
+	err := s.Res.Do(s.Clock, nil, "GET "+f.Bucket+"/"+f.Key, func() error {
+		data, info, ge := store.Get(cred, f.Bucket, f.Key)
+		if ge != nil {
+			return ge
+		}
+		n = int64(len(data))
+		if f.Generation > 0 && info.Generation != f.Generation {
+			return &integrity.Error{Source: "objstore.stale", Table: table, Bucket: f.Bucket, Key: f.Key,
+				Detail: fmt.Sprintf("got generation %d, snapshot pinned %d", info.Generation, f.Generation)}
+		}
+		if int64(len(data)) != info.Size {
+			return &integrity.Error{Source: "objstore.truncated", Table: table, Bucket: f.Bucket, Key: f.Key,
+				Detail: fmt.Sprintf("got %d bytes, object reports %d", len(data), info.Size)}
+		}
+		if verr := colfmt.Verify(data); verr != nil {
+			return integrity.Annotate(verr, table, f.Bucket, f.Key)
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Pass scrubs the named tables' current snapshots under the byte
+// budget. Tables are visited in sorted order so budgeted passes
+// resume deterministically.
+func (s *Scrubber) Pass(tables []string) (Report, error) {
+	var rep Report
+	sorted := append([]string(nil), tables...)
+	sort.Strings(sorted)
+	s.Obs.Counter("integrity.scrub.passes").Add(1)
+
+	// Rotate the walk so it starts at the resume cursor.
+	start := 0
+	if s.cursorTable != "" {
+		for i, tn := range sorted {
+			if tn >= s.cursorTable {
+				start = i
+				break
+			}
+		}
+	}
+	for off := range sorted {
+		tableName := sorted[(start+off)%len(sorted)]
+		t, err := s.Catalog.Table(tableName)
+		if err != nil {
+			return rep, err
+		}
+		store, err := s.store(t.Cloud)
+		if err != nil {
+			return rep, err
+		}
+		conn, err := s.Auth.Connection(t.Connection)
+		if err != nil {
+			return rep, err
+		}
+		cred := conn.ServiceAccount
+		files, _, err := s.Log.Snapshot(tableName, -1)
+		if err != nil {
+			return rep, err
+		}
+		sort.Slice(files, func(i, j int) bool { return files[i].Key < files[j].Key })
+		rep.TablesVisited++
+		for _, f := range files {
+			if off == 0 && tableName == s.cursorTable && f.Key < s.cursorKey {
+				continue // already covered by the previous pass
+			}
+			if _, qok := s.Log.IsQuarantined(tableName, f.Key); qok {
+				rep.FilesSkipped++
+				continue
+			}
+			if s.BytesPerPass > 0 && rep.BytesVerified+f.Size > s.BytesPerPass && rep.FilesVerified > 0 {
+				s.cursorTable, s.cursorKey = tableName, f.Key
+				rep.Exhausted = true
+				s.Obs.Counter("integrity.scrub.budget_stops").Add(1)
+				return rep, nil
+			}
+			n, verr := s.verifyObject(store, cred, tableName, f)
+			rep.BytesVerified += n
+			s.Obs.Counter("integrity.scrub.bytes").Add(n)
+			if verr != nil && errors.Is(verr, integrity.ErrCorrupt) {
+				s.Obs.Counter("integrity.detected.scrub").Add(1)
+				s.Obs.Event("integrity.detections", verr.Error())
+				// One fresh re-fetch separates a sick response from a
+				// sick stored copy.
+				n2, verr2 := s.verifyObject(store, cred, tableName, f)
+				rep.BytesVerified += n2
+				s.Obs.Counter("integrity.scrub.bytes").Add(n2)
+				switch {
+				case verr2 == nil:
+					rep.Recovered++
+					s.Obs.Counter("integrity.recovered.refetch").Add(1)
+					verr = nil
+				case errors.Is(verr2, integrity.ErrCorrupt):
+					s.Obs.Counter("integrity.detected.scrub").Add(1)
+					s.Obs.Event("integrity.detections", verr2.Error())
+					rep.CorruptFound++
+					if _, qerr := s.Log.QuarantineFile(s.Principal, tableName, bigmeta.QuarantineMark{
+						Key:    f.Key,
+						Source: "scrub",
+						Reason: verr2.Error(),
+						Time:   s.Clock.Now(),
+					}); qerr != nil {
+						return rep, qerr
+					}
+					rep.Quarantined++
+					s.Obs.Counter("integrity.quarantines").Add(1)
+					s.Obs.Event("integrity.warnings",
+						fmt.Sprintf("scrub quarantined %s/%s (table %s): %v", f.Bucket, f.Key, tableName, verr2))
+					// Quarantined, not verified: continue with the next file.
+					continue
+				default:
+					return rep, verr2
+				}
+			} else if verr != nil {
+				return rep, verr
+			}
+			rep.FilesVerified++
+			s.Obs.Counter("integrity.scrub.files").Add(1)
+		}
+	}
+	// Full walk completed: clear the cursor so the next pass starts over.
+	s.cursorTable, s.cursorKey = "", ""
+	return rep, nil
+}

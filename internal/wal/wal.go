@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"biglake/internal/bigmeta"
+	"biglake/internal/integrity"
 	"biglake/internal/objstore"
 	"biglake/internal/sim"
 )
@@ -66,6 +67,49 @@ type Record struct {
 	IntentSeq int64 `json:"intent_seq,omitempty"`
 	// Commit is the sealed transaction payload (KindCommit only).
 	Commit *bigmeta.TxCommit `json:"commit,omitempty"`
+	// Sum is the CRC-32C of the record's JSON encoding with Sum itself
+	// zeroed — the torn-write detector. A record whose bytes were
+	// truncated or bit-flipped between PUT and read fails verification
+	// and is never rolled forward as a sealed commit.
+	Sum uint32 `json:"sum,omitempty"`
+}
+
+// sealRecord computes the record's checksum and returns its final
+// durable encoding. The sum covers the canonical JSON with Sum zeroed,
+// so verification is re-marshal + compare.
+func sealRecord(rec Record) ([]byte, error) {
+	rec.Sum = 0
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: marshal: %w", err)
+	}
+	rec.Sum = integrity.Checksum(body)
+	return json.Marshal(rec)
+}
+
+// verifyRecord parses and checksum-verifies one durable record. Both
+// failure modes — unparseable bytes (torn write) and a parseable record
+// whose canonical re-encoding mismatches the embedded sum (bit flip) —
+// surface as typed integrity errors.
+func verifyRecord(data []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, &integrity.Error{Source: "wal.record",
+			Detail: "unparseable record (torn write?): " + err.Error()}
+	}
+	want := rec.Sum
+	clean := rec
+	clean.Sum = 0
+	body, err := json.Marshal(clean)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: re-marshal: %w", err)
+	}
+	if got := integrity.Checksum(body); got != want {
+		return Record{}, &integrity.Error{Source: "wal.record",
+			Block:  fmt.Sprintf("seq=%d", rec.Seq),
+			Detail: fmt.Sprintf("record checksum mismatch: got %08x want %08x", got, want)}
+	}
+	return rec, nil
 }
 
 // Journal is a durable, sequenced record log in one bucket. It
@@ -123,9 +167,9 @@ func (j *Journal) append(rec Record) (int64, error) {
 	for {
 		seq := j.seq + 1
 		rec.Seq = seq
-		data, err := json.Marshal(rec)
+		data, err := sealRecord(rec)
 		if err != nil {
-			return 0, fmt.Errorf("wal: marshal: %w", err)
+			return 0, err
 		}
 		_, err = j.Store.PutIfGeneration(j.Cred, j.Bucket, j.key(seq, rec.Kind), data, "application/json", 0)
 		if err == nil {
@@ -172,32 +216,68 @@ func (j *Journal) Seq() int64 {
 	return j.seq
 }
 
-// Records reads and decodes the whole journal in sequence order.
+// Records reads, decodes, and checksum-verifies the whole journal in
+// sequence order. Any record failing verification is a typed integrity
+// error; recovery uses the lenient records() below instead so a torn
+// tail write doesn't block replay.
 func (j *Journal) Records() ([]Record, error) {
+	recs, corrupt, err := j.records()
+	if err != nil {
+		return nil, err
+	}
+	if len(corrupt) > 0 {
+		return nil, corrupt[0].Err
+	}
+	return recs, nil
+}
+
+// corruptRec is one journal object that failed checksum verification.
+// Kind and Seq come from the key name — the payload is untrusted.
+type corruptRec struct {
+	Key  string
+	Seq  int64
+	Kind string
+	Err  error
+}
+
+// records reads the journal leniently: verified records in sequence
+// order plus the list of corrupt objects, keyed by filename so the
+// caller can reason about *which protocol step* was damaged even when
+// the payload is garbage.
+func (j *Journal) records() ([]Record, []corruptRec, error) {
 	infos, err := j.Store.ListAll(j.Cred, j.Bucket, j.Prefix)
 	if err != nil {
 		if errors.Is(err, objstore.ErrNoSuchBucket) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, fmt.Errorf("wal: list: %w", err)
+		return nil, nil, fmt.Errorf("wal: list: %w", err)
 	}
 	recs := make([]Record, 0, len(infos))
+	var corrupt []corruptRec
 	for _, info := range infos {
-		if _, ok := j.parseSeq(info.Key); !ok {
+		seq, ok := j.parseSeq(info.Key)
+		if !ok {
 			continue
 		}
 		data, _, err := j.Store.Get(j.Cred, j.Bucket, info.Key)
 		if err != nil {
-			return nil, fmt.Errorf("wal: read %s: %w", info.Key, err)
+			return nil, nil, fmt.Errorf("wal: read %s: %w", info.Key, err)
 		}
-		var rec Record
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return nil, fmt.Errorf("wal: decode %s: %w", info.Key, err)
+		rec, err := verifyRecord(data)
+		if err != nil {
+			kind := ""
+			if base := strings.TrimSuffix(strings.TrimPrefix(info.Key, j.Prefix), ".rec"); strings.Contains(base, "-") {
+				kind = base[strings.Index(base, "-")+1:]
+			}
+			corrupt = append(corrupt, corruptRec{Key: info.Key, Seq: seq, Kind: kind,
+				Err: integrity.Annotate(err, "", j.Bucket, info.Key)})
+			continue
 		}
 		recs = append(recs, rec)
 	}
 	sort.Slice(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
-	return recs, nil
+	sort.Slice(corrupt, func(a, b int) bool { return corrupt[a].Seq < corrupt[b].Seq })
+	return recs, corrupt, nil
 }
 
 // RecoveryReport summarizes one journal replay.
@@ -212,6 +292,13 @@ type RecoveryReport struct {
 	// OrphanCandidates are the data-file keys declared by unsealed or
 	// aborted intents: the places GC should expect debris.
 	OrphanCandidates []string
+	// CorruptRecords are journal keys that failed checksum
+	// verification, in sequence order.
+	CorruptRecords []string
+	// DemotedCommits is how many checksum-failed commit records in the
+	// torn tail were demoted: their transactions recover as unsealed
+	// intents instead of rolling forward garbage.
+	DemotedCommits int
 }
 
 // Recovered is a post-crash world rebuilt from the journal alone.
@@ -230,10 +317,37 @@ type Recovered struct {
 // Recover replays the journal into a fresh Log: sealed commits roll
 // forward, unsealed intents are discarded, and exactly-once stream
 // offsets are restored from the last commit that carried each stream.
+//
+// Checksum-failed records are handled by position. A corrupt commit in
+// the torn tail — at a sequence past every verified record — is the
+// signature of a crash mid-seal: the commit never durably happened, so
+// it is demoted and its transaction recovers as an unsealed intent
+// (orphan GC then reclaims its data files). A corrupt commit *behind*
+// verified records is not a torn write, it is history damage — rolling
+// past it would silently drop a committed transaction, so recovery
+// refuses with a typed integrity error and the journal object must be
+// repaired first. Corrupt intents and aborts are dropped either way:
+// losing one can only make GC more conservative, never lose a commit.
 func Recover(j *Journal, clock *sim.Clock, meter *sim.Meter) (*Recovered, error) {
-	recs, err := j.Records()
+	recs, corrupt, err := j.records()
 	if err != nil {
 		return nil, err
+	}
+	tailStart := int64(0) // highest verified sequence number
+	for _, rec := range recs {
+		if rec.Seq > tailStart {
+			tailStart = rec.Seq
+		}
+	}
+	rep := RecoveryReport{}
+	for _, c := range corrupt {
+		rep.CorruptRecords = append(rep.CorruptRecords, c.Key)
+		if c.Kind == KindCommit {
+			if c.Seq <= tailStart {
+				return nil, c.Err
+			}
+			rep.DemotedCommits++
+		}
 	}
 	var commits []bigmeta.TxCommit
 	intents := map[string]Record{} // txnID → intent
@@ -271,7 +385,7 @@ func Recover(j *Journal, clock *sim.Clock, meter *sim.Meter) (*Recovered, error)
 		}
 	}
 
-	rep := RecoveryReport{Commits: len(commits)}
+	rep.Commits = len(commits)
 	for id, in := range intents {
 		switch {
 		case sealed[id]:
@@ -293,6 +407,10 @@ func Recover(j *Journal, clock *sim.Clock, meter *sim.Meter) (*Recovered, error)
 	reg.Add("wal.recover.unsealed_intents", int64(len(rep.UnsealedIntents)))
 	reg.Add("wal.recover.aborted_intents", int64(len(rep.AbortedIntents)))
 	reg.Add("wal.recover.orphan_candidates", int64(len(rep.OrphanCandidates)))
+	if n := len(rep.CorruptRecords); n > 0 {
+		reg.Add("integrity.detected.wal", int64(n))
+		reg.Add("wal.recover.demoted_commits", int64(rep.DemotedCommits))
+	}
 	return &Recovered{Log: log, Streams: streams, Report: rep}, nil
 }
 

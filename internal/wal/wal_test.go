@@ -2,13 +2,16 @@ package wal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"biglake/internal/bigmeta"
+	"biglake/internal/integrity"
 	"biglake/internal/objstore"
+	"biglake/internal/obs"
 	"biglake/internal/sim"
 )
 
@@ -144,6 +147,189 @@ func TestReplayedCommitIsExactNoop(t *testing.T) {
 	}
 	if len(recs) != 1 {
 		t.Fatalf("journal has %d records, want 1", len(recs))
+	}
+}
+
+// tornWorld builds a journal with two fully sealed transactions, each
+// of which PUT its declared data file before sealing:
+//
+//	seq 1  intent tx-a {t/data/a.blk}
+//	seq 2  commit tx-a (version 1)
+//	seq 3  intent tx-b {t/data/b.blk}
+//	seq 4  commit tx-b (version 2)   <- the tail, damaged by the tests
+//
+// It returns the journal plus the key of the tail commit record.
+func tornWorld(t *testing.T) (*objstore.Store, objstore.Credential, *sim.Clock, *Journal, string) {
+	t.Helper()
+	store, cred, clock := testWorld(t)
+	j, err := Open(store, cred, "lake", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal := func(txn, key string, version int64) {
+		t.Helper()
+		seq, err := j.AppendIntent(txn, "alice@corp", []string{key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Put(cred, "lake", key, []byte("data-"+txn), "application/x-blk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendCommit(bigmeta.TxCommit{
+			TxnID: txn, IntentSeq: seq, Principal: "alice@corp", Version: version,
+			Deltas: map[string]bigmeta.TableDelta{"t": {Added: []bigmeta.FileEntry{{Bucket: "lake", Key: key, Size: int64(len("data-" + txn))}}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seal("tx-a", "t/data/a.blk", 1)
+	seal("tx-b", "t/data/b.blk", 2)
+	return store, cred, clock, j, j.key(4, KindCommit)
+}
+
+// checkDemotedTail asserts the shared outcome of both torn-tail
+// corruption modes: the damaged sealed commit is demoted, its
+// transaction recovers as an unsealed intent, orphan GC reclaims its
+// data file leaving zero orphans, and the integrity counters fired.
+func checkDemotedTail(t *testing.T, store *objstore.Store, cred objstore.Credential, clock *sim.Clock, j *Journal, reg *obs.Registry, tailKey string) {
+	t.Helper()
+	rec, err := Recover(j, clock, nil)
+	if err != nil {
+		t.Fatalf("recovery must survive a torn tail: %v", err)
+	}
+	rep := rec.Report
+	if rep.DemotedCommits != 1 {
+		t.Fatalf("DemotedCommits = %d, want 1 (report %+v)", rep.DemotedCommits, rep)
+	}
+	if len(rep.CorruptRecords) != 1 || rep.CorruptRecords[0] != tailKey {
+		t.Fatalf("CorruptRecords = %v, want [%s]", rep.CorruptRecords, tailKey)
+	}
+	// tx-a rolled forward; tx-b's commit never durably happened.
+	if rep.Commits != 1 || rec.Log.Version() != 1 {
+		t.Fatalf("commits = %d version = %d, want 1/1", rep.Commits, rec.Log.Version())
+	}
+	if _, ok := rec.Log.AppliedTx("tx-a"); !ok {
+		t.Fatal("tx-a lost")
+	}
+	if _, ok := rec.Log.AppliedTx("tx-b"); ok {
+		t.Fatal("demoted tx-b rolled forward anyway")
+	}
+	if len(rep.UnsealedIntents) != 1 || rep.UnsealedIntents[0] != "tx-b" {
+		t.Fatalf("UnsealedIntents = %v, want [tx-b]", rep.UnsealedIntents)
+	}
+	if len(rep.OrphanCandidates) != 1 || rep.OrphanCandidates[0] != "t/data/b.blk" {
+		t.Fatalf("OrphanCandidates = %v, want [t/data/b.blk]", rep.OrphanCandidates)
+	}
+
+	// Orphan GC reclaims exactly the demoted transaction's debris...
+	gc, err := GCOrphans(store, cred, "lake", []string{"t/data/"}, rec.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gc.Deleted) != 1 || gc.Deleted[0] != "t/data/b.blk" {
+		t.Fatalf("GC deleted %v, want [t/data/b.blk]", gc.Deleted)
+	}
+	if _, err := store.Head(cred, "lake", "t/data/a.blk"); err != nil {
+		t.Fatalf("committed file a.blk was GC'd: %v", err)
+	}
+	// ...and a second sweep finds nothing: zero orphans remain.
+	gc2, err := GCOrphans(store, cred, "lake", []string{"t/data/"}, rec.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gc2.Deleted) != 0 {
+		t.Fatalf("orphans remain after GC: %v", gc2.Deleted)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["integrity.detected.wal"] == 0 {
+		t.Fatal("integrity.detected.wal never incremented")
+	}
+	if snap.Counters["wal.recover.demoted_commits"] != 1 {
+		t.Fatalf("wal.recover.demoted_commits = %d, want 1", snap.Counters["wal.recover.demoted_commits"])
+	}
+}
+
+// TestRecoverTornTailTruncated: a sealed commit whose durable bytes
+// were cut short (crash mid-PUT) must recover as a dropped intent, not
+// roll forward garbage and not block replay.
+func TestRecoverTornTailTruncated(t *testing.T) {
+	store, cred, clock, j, tailKey := tornWorld(t)
+	reg := obs.NewRegistry()
+	store.UseObs(reg)
+
+	data, _, err := store.Get(cred, "lake", tailKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(cred, "lake", tailKey, data[:len(data)/2], "application/json"); err != nil {
+		t.Fatal(err)
+	}
+	checkDemotedTail(t, store, cred, clock, j, reg, tailKey)
+}
+
+// TestRecoverTornTailBitFlip: same contract when the record parses but
+// its embedded checksum no longer matches.
+func TestRecoverTornTailBitFlip(t *testing.T) {
+	store, cred, clock, j, tailKey := tornWorld(t)
+	reg := obs.NewRegistry()
+	store.UseObs(reg)
+
+	// Bit 83 lands mid-payload: the JSON may or may not still parse,
+	// and either way verification must fail.
+	if err := store.FlipStoredBit("lake", tailKey, 83); err != nil {
+		t.Fatal(err)
+	}
+	checkDemotedTail(t, store, cred, clock, j, reg, tailKey)
+}
+
+// TestRecoverCorruptHistoryCommitRefuses: a checksum-failed commit
+// BEHIND verified records is history damage, not a torn tail — rolling
+// past it would silently drop a committed transaction, so recovery
+// must refuse with a typed integrity error.
+func TestRecoverCorruptHistoryCommitRefuses(t *testing.T) {
+	store, _, clock, j, _ := tornWorld(t)
+	reg := obs.NewRegistry()
+	store.UseObs(reg)
+
+	// Damage tx-a's commit (seq 2); tx-b's verified records sit after it.
+	if err := store.FlipStoredBit("lake", j.key(2, KindCommit), 83); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(j, clock, nil); err == nil {
+		t.Fatal("recovery rolled past a corrupt non-tail commit")
+	} else if !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("history damage surfaced untyped: %v", err)
+	}
+}
+
+// TestRecoverCorruptIntentIsDropped: a corrupt intent (tail or not)
+// only makes GC more conservative — recovery proceeds, the sealed
+// commits all roll forward, and the record is counted corrupt without
+// being demoted (demotion is commit-only).
+func TestRecoverCorruptIntentIsDropped(t *testing.T) {
+	store, _, clock, j, _ := tornWorld(t)
+	reg := obs.NewRegistry()
+	store.UseObs(reg)
+
+	if err := store.FlipStoredBit("lake", j.key(3, KindIntent), 83); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(j, clock, nil)
+	if err != nil {
+		t.Fatalf("recovery must survive a corrupt intent: %v", err)
+	}
+	if rec.Report.Commits != 2 || rec.Log.Version() != 2 {
+		t.Fatalf("commits = %d version = %d, want 2/2", rec.Report.Commits, rec.Log.Version())
+	}
+	if rec.Report.DemotedCommits != 0 {
+		t.Fatalf("DemotedCommits = %d, want 0", rec.Report.DemotedCommits)
+	}
+	if len(rec.Report.CorruptRecords) != 1 {
+		t.Fatalf("CorruptRecords = %v", rec.Report.CorruptRecords)
+	}
+	if reg.Snapshot().Counters["integrity.detected.wal"] == 0 {
+		t.Fatal("integrity.detected.wal never incremented")
 	}
 }
 
