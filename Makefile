@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve integrity bench bench-smoke obs ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve integrity bench bench-smoke obs gclean ci
 
 all: build
 
@@ -104,6 +104,26 @@ integrity:
 	$(GO) test -run 'TestIntegrity' -v ./internal/oracle/
 	$(GO) test -race -run 'TestE19' -v ./internal/exp/
 
+# The GC-lean gate: arena-kernel parity with the eager path (bit-exact
+# masks/batches including late-materialized dictionaries), per-kernel
+# allocs/op budgets (a kernel that starts allocating again fails the
+# build), arena lifetime safety under the race detector (query results
+# must survive arena recycling; serve cursors copy out), and the E20
+# experiment smoke: alloc/GC reduction, mixed-traffic QPS, variance
+# cells. Full-scale snapshots are regenerated with
+#
+#	go run ./cmd/benchlake -json e15 e20
+#
+# and committed as BENCH_E15.json / BENCH_E20.json; a later plain
+# `benchlake e20` fails if any variance cell regresses beyond the
+# noise band recorded in the committed baseline.
+gclean:
+	$(GO) test -run 'TestGCLean' ./internal/vector/
+	$(GO) test -race -run 'TestGCLean|TestArena' ./internal/engine/
+	$(GO) test -race ./internal/arena/
+	$(GO) test -race -run 'TestCursorSurvivesArenaRecycle' ./internal/serve/
+	$(GO) test -run 'TestE20' -v ./internal/exp/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -114,4 +134,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race obs chaos fuzz crash txn serve integrity bench-smoke
+ci: vet build test race obs chaos fuzz crash txn serve integrity gclean bench-smoke

@@ -87,6 +87,7 @@ func init() {
 	register("e17", runE17)
 	register("e18", runE18)
 	register("e19", runE19)
+	register("e20", runE20)
 	register("a1", runA1)
 	register("a2", runA2)
 	register("a3", runA3)
@@ -562,6 +563,58 @@ func runE19(_ *obsSetup) (any, error) {
 		res.AllDetected, res.RestoredAtOnePercent)
 	fmt.Println("(corruption degrades to typed integrity errors; scrub and repair heal the table in place)")
 	return res, nil
+}
+
+func runE20(_ *obsSetup) (any, error) {
+	res, err := exp.RunE20(*scale)
+	if err != nil {
+		return nil, err
+	}
+	header("E20 | GC-lean execution: per-query arenas, late materialization, perf trajectory")
+	fmt.Printf("star join (fact=%d dim=%d), steady state, %s wall per arm:\n", res.FactRows, res.DimRows, res.Lean.Time+res.Eager.Time)
+	fmt.Printf("%-8s %14s %16s %8s %12s\n", "arm", "allocs/op", "bytes/op", "GC/op", "GC-pause/op")
+	fmt.Printf("%-8s %14.0f %16.0f %8.2f %10.0fus\n", "eager", res.Eager.AllocsPerOp, res.Eager.BytesPerOp, res.Eager.GCPerOp, res.Eager.GCPauseUsPerOp)
+	fmt.Printf("%-8s %14.0f %16.0f %8.2f %10.0fus\n", "lean", res.Lean.AllocsPerOp, res.Lean.BytesPerOp, res.Lean.GCPerOp, res.Lean.GCPauseUsPerOp)
+	fmt.Printf("reduction: allocs %.1fx  bytes %.0fx\n", res.AllocReduction, res.BytesReduction)
+	fmt.Printf("mixed serve traffic (%d stmts, star join every %d): eager=%.0f qps  lean=%.0f qps  ratio=%.2fx\n",
+		res.PointQueries, res.MixEvery, res.EagerQPS, res.LeanQPS, res.QPSRatio)
+	fmt.Printf("point-lookup p99 in the mix: eager=%.0fus  lean=%.0fus\n", res.EagerP99Us, res.LeanP99Us)
+	fmt.Printf("%-36s %8s %12s %12s\n", "variance cell", "samples", "mean", "stddev")
+	for _, c := range res.Cells {
+		fmt.Printf("%-36s %8d %10.0fus %10.0fus\n", c.Name, c.Samples, c.MeanUs, c.StddevUs)
+	}
+	if regs, base, err := compareE20Baseline(res.Cells); err != nil {
+		return nil, err
+	} else if base {
+		if len(regs) == 0 {
+			fmt.Println("trajectory vs committed BENCH_E20.json: all cells within noise bands")
+		} else {
+			for _, r := range regs {
+				fmt.Printf("trajectory REGRESSION %s\n", r)
+			}
+			return nil, fmt.Errorf("perf trajectory: %d cell(s) regressed beyond the recorded noise band", len(regs))
+		}
+	}
+	return res, nil
+}
+
+// compareE20Baseline loads the committed BENCH_E20.json (if any) and
+// flags cells outside its noise bands. The bool reports whether a
+// baseline existed; no baseline is not an error — the first -json run
+// creates it.
+func compareE20Baseline(cur []exp.E20Cell) ([]exp.E20Regression, bool, error) {
+	data, err := os.ReadFile("BENCH_E20.json")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	var base exp.E20Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, false, fmt.Errorf("BENCH_E20.json: %w", err)
+	}
+	return exp.TrajectoryCompare(base.Cells, cur), true, nil
 }
 
 func runA1(_ *obsSetup) (any, error) {

@@ -62,9 +62,9 @@ func FromValue(v vector.Value) StatValue {
 
 // ChunkMeta locates one column chunk within the file.
 type ChunkMeta struct {
-	Column string      `json:"column"`
-	Offset int64       `json:"offset"`
-	Length int64       `json:"length"`
+	Column string `json:"column"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
 	// CRC is the CRC-32C of the encoded chunk bytes, verified on every
 	// decode so a flipped bit in the body becomes a typed error, never
 	// a silent mis-decode.

@@ -52,16 +52,38 @@ func (p Predicate) StatsCanSatisfy(st ColumnStats) bool {
 
 // EvalPredicates computes the conjunction of predicates over a batch.
 func EvalPredicates(b *vector.Batch, preds []Predicate) ([]bool, error) {
-	mask := make([]bool, b.N)
-	for i := range mask {
-		mask[i] = true
+	return EvalPredicatesWith(nil, b, preds)
+}
+
+// EvalPredicatesWith is EvalPredicates drawing its masks from al (nil
+// = heap). The first predicate's compare mask becomes the result
+// directly and later predicates fold into it in place, so the common
+// single-conjunct scan (a point lookup) runs one kernel pass with no
+// all-true initialization.
+func EvalPredicatesWith(al vector.Alloc, b *vector.Batch, preds []Predicate) ([]bool, error) {
+	if al == nil {
+		al = vector.Heap
 	}
+	var mask []bool
 	for _, p := range preds {
 		c := b.Column(p.Column)
 		if c == nil {
 			return nil, fmt.Errorf("colfmt: predicate column %q not in batch", p.Column)
 		}
-		mask = vector.And(mask, vector.CompareConst(c, p.Op, p.Value))
+		cm := vector.CompareConstWith(al, c, p.Op, p.Value)
+		if mask == nil {
+			mask = cm
+			continue
+		}
+		for i := range mask {
+			mask[i] = mask[i] && cm[i]
+		}
+	}
+	if mask == nil {
+		mask = al.Bools(b.N)
+		for i := range mask {
+			mask[i] = true
+		}
 	}
 	return mask, nil
 }

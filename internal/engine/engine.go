@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"biglake/internal/arena"
 	"biglake/internal/bigmeta"
 	"biglake/internal/catalog"
 	"biglake/internal/objstore"
@@ -119,6 +120,20 @@ type Options struct {
 	// is worse than down, and silently narrowing results must be a
 	// conscious choice.
 	SkipQuarantined bool
+	// GCLean runs the vectorized path with a recycled per-query arena
+	// and dictionary late materialization: kernel scratch and outputs
+	// are carved from pooled slabs instead of the heap, and string
+	// columns stay dictionary codes through filter/join/group/order,
+	// decoding only at result emission. Results are bit-identical to
+	// the eager heap path (the oracle matrix runs with it on); it is
+	// the baseline-off arm of E20. Ignored under RowAtATimeExec.
+	GCLean bool
+	// ArenaRetainBytes caps how much slab capacity one recycled arena
+	// may keep between queries (0 = arena.DefaultRetainBytes). Size it
+	// to the workload's per-query peak: a query whose working set
+	// exceeds the cap still runs, but its arena is trimmed back on
+	// release and the excess is re-made from the heap next time.
+	ArenaRetainBytes int64
 }
 
 // DefaultOptions is the production configuration.
@@ -127,6 +142,7 @@ func DefaultOptions() Options {
 		UseMetadataCache: true,
 		EnableDPP:        true,
 		PruneGranularity: bigmeta.PruneFiles,
+		GCLean:           true,
 	}
 }
 
@@ -185,7 +201,25 @@ type Engine struct {
 	// scanCache holds decoded file contents keyed by object generation;
 	// nil unless Options.EnableScanCache is set.
 	scanCache *scanCache
+
+	// arenas recycles per-query execution arenas when Options.GCLean is
+	// set; stats are mirrored into the registry after every query.
+	arenas *arena.Pool
+
+	// stmts caches parsed statements by SQL text when Options.GCLean is
+	// set. Parsed ASTs are immutable once built — the executor never
+	// writes into a statement node — so a repeated statement (the
+	// prepared-statement and dashboard pattern) skips the lexer and
+	// parser entirely and allocates nothing.
+	stmtMu sync.Mutex
+	stmts  map[string]sqlparse.Statement
 }
+
+// stmtCacheCap bounds the statement cache. Overflow resets the whole
+// map rather than tracking recency: the cache exists to make repeated
+// statements allocation-free, and an LRU list would put allocations
+// back on the hit path it is trying to clear.
+const stmtCacheCap = 1024
 
 // New assembles an engine.
 func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, log *bigmeta.Log, clock *sim.Clock, stores map[string]*objstore.Store, opts Options) *Engine {
@@ -210,6 +244,7 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]TVFFunc),
 		ec:      resolveEngCounters(reg),
+		arenas:  arena.NewPoolSized(0, opts.ArenaRetainBytes),
 	}
 	if opts.EnableScanCache {
 		eng.scanCache = newScanCache(opts.ScanCacheBytes)
@@ -269,7 +304,7 @@ type ExecStats struct {
 	// Options.SkipQuarantined (each omission also logs a warning).
 	QuarantineSkips int64
 	SimStart        time.Duration
-	SimElapsed  time.Duration
+	SimElapsed      time.Duration
 }
 
 // QueryContext carries per-query identity and accounting.
@@ -307,6 +342,13 @@ type QueryContext struct {
 	// for this query — transaction sessions route DML into their write
 	// buffer this way.
 	Mutator Mutator
+
+	// mem is the query's memory policy: the arena every kernel draws
+	// scratch and outputs from, plus the late-materialization flag.
+	// Execute installs it for the statement's duration and resets it
+	// before releasing the arena, so a context reused across statements
+	// (txn sessions) never carries a recycled allocator.
+	mem vector.Mem
 }
 
 // NewContext builds a query context.
@@ -337,12 +379,43 @@ func (e *Engine) Query(ctx *QueryContext, sql string) (*Result, error) {
 	if ctx.Span != nil {
 		psp = ctx.Span.Child("parse")
 	}
-	stmt, err := sqlparse.Parse(sql)
+	stmt, hit, err := e.Parse(sql)
+	if hit && psp != nil {
+		psp.SetStr("cache", "hit")
+	}
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	return e.Execute(ctx, stmt)
+}
+
+// Parse returns the statement for one SQL text, serving repeats from
+// the GC-lean statement cache (hit reports whether it did). Callers
+// must treat the returned AST as immutable — it may be shared with
+// concurrent queries.
+func (e *Engine) Parse(sql string) (stmt sqlparse.Statement, hit bool, err error) {
+	if !e.Opts.GCLean {
+		stmt, err = sqlparse.Parse(sql)
+		return stmt, false, err
+	}
+	e.stmtMu.Lock()
+	stmt, hit = e.stmts[sql]
+	e.stmtMu.Unlock()
+	if hit {
+		return stmt, true, nil
+	}
+	stmt, err = sqlparse.Parse(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	e.stmtMu.Lock()
+	if e.stmts == nil || len(e.stmts) >= stmtCacheCap {
+		e.stmts = make(map[string]sqlparse.Statement, 64)
+	}
+	e.stmts[sql] = stmt
+	e.stmtMu.Unlock()
+	return stmt, false, nil
 }
 
 // Execute runs a parsed statement.
@@ -365,6 +438,22 @@ func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, e
 			ctx.Trace.Finish()
 		}
 	}()
+	if e.Opts.GCLean && !e.Opts.RowAtATimeExec && ctx.mem.Al == nil && e.arenas != nil {
+		ar := e.arenas.Get()
+		ctx.mem = vector.Mem{Al: ar, LateMat: true}
+		// Runs before the span-ending defer above (LIFO), so the arena
+		// footprint lands on the execute span for EXPLAIN ANALYZE.
+		defer func() {
+			if exec != nil {
+				exec.SetInt("arena_bytes", ar.Bytes())
+			}
+			ctx.mem = vector.Mem{}
+			ar.Release()
+			st := e.arenas.Stats()
+			e.ec.arenaBytes.Set(st.BytesRetained)
+			e.ec.arenaRecycled.Set(st.Recycled)
+		}()
+	}
 	if ctx.Budget == nil {
 		ctx.Budget = resilience.NewBudget(e.Clock, QueryRetryBudget, resilience.Seed64(ctx.QueryID))
 	}
@@ -386,6 +475,9 @@ func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, e
 		if exec != nil {
 			exec.SetInt("rows", int64(b.N))
 		}
+		// Copy-out boundary: the result must survive the arena being
+		// recycled by the next query.
+		b = vector.DetachBatch(b)
 		ctx.Stats.SimElapsed = e.Clock.Now() - ctx.Stats.SimStart
 		return &Result{Batch: b, Stats: ctx.Stats}, nil
 	case *sqlparse.InsertStmt:

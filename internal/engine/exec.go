@@ -33,7 +33,7 @@ func (e *Engine) execSelect(ctx *QueryContext, sel *sqlparse.SelectStmt) (*vecto
 			fsp.End()
 			return nil, err
 		}
-		joined, err = vector.Filter(joined, mask)
+		joined, err = vector.FilterWith(ctx.mem, joined, mask)
 		if err != nil {
 			fsp.End()
 			return nil, err
@@ -362,18 +362,19 @@ func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlpar
 		kind = vector.LeftOuterJoin
 	}
 	workers := e.execWorkers()
-	res, err := vector.HashJoin(left, right, leftKeys, rightKeys, kind, workers)
+	res, err := vector.HashJoinWith(ctx.mem, left, right, leftKeys, rightKeys, kind, workers)
 	if err != nil {
 		return nil, err
 	}
 
 	// One combined index per side: matched pairs in probe order, then
 	// the null-extended unmatched left rows (right index -1 = NULL).
+	al := ctx.mem.Allocator()
 	nOut := len(res.Left) + len(res.LeftOuter)
-	leftFull := make([]int32, 0, nOut)
-	leftFull = append(leftFull, res.Left...)
-	leftFull = append(leftFull, res.LeftOuter...)
-	rightFull := make([]int32, nOut)
+	leftFull := al.Int32s(nOut)
+	n1 := copy(leftFull, res.Left)
+	copy(leftFull[n1:], res.LeftOuter)
+	rightFull := al.Int32s(nOut)
 	copy(rightFull, res.Right)
 	for i := len(res.Right); i < nOut; i++ {
 		rightFull[i] = -1
@@ -389,7 +390,7 @@ func (e *Engine) hashJoin(ctx *QueryContext, left, right *vector.Batch, j sqlpar
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cols[dst] = vector.GatherNull(c, idx)
+			cols[dst] = vector.GatherNullWith(ctx.mem, c, idx)
 		}()
 	}
 	for i, c := range left.Cols {
@@ -454,8 +455,22 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 	}
 
 	// Pre-evaluate aggregate argument expressions once over the whole
-	// input.
-	argCols := map[string]*vector.Column{}
+	// input. Select lists are a handful of items, so the dedup tables
+	// here (and below) are linear slices, not maps — the same lookup
+	// cost at this width without a per-query map allocation.
+	type argCol struct {
+		key string
+		col *vector.Column
+	}
+	var argCols []argCol
+	findArg := func(key string) *vector.Column {
+		for _, a := range argCols {
+			if a.key == key {
+				return a.col
+			}
+		}
+		return nil
+	}
 	var prepare func(expr sqlparse.Expr) error
 	prepare = func(expr sqlparse.Expr) error {
 		call, ok := expr.(sqlparse.Call)
@@ -466,14 +481,14 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 			return nil
 		}
 		key := call.Args[0].String()
-		if _, ok := argCols[key]; ok {
+		if findArg(key) != nil {
 			return nil
 		}
 		c, err := e.evalExpr(ctx, in, call.Args[0])
 		if err != nil {
 			return err
 		}
-		argCols[key] = c
+		argCols = append(argCols, argCol{key: key, col: c})
 		return nil
 	}
 	for _, item := range sel.Items {
@@ -486,11 +501,11 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 	}
 
 	if e.Opts.RowAtATimeExec {
-		return e.execAggregateLegacy(ctx, sel, in, keyCols, argCols)
+		return e.execAggregateLegacy(ctx, sel, in, keyCols, findArg)
 	}
 
 	workers := e.execWorkers()
-	grouping := vector.GroupKeys(keyCols, in.N, workers)
+	grouping := vector.GroupKeysWith(ctx.mem, keyCols, in.N, workers)
 
 	// Classify select items into aggregate specs (deduplicated; AVG
 	// decomposes into SUM + COUNT) and group-key references. Errors are
@@ -531,7 +546,7 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 				if len(call.Args) != 1 {
 					return fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
 				}
-				col := argCols[call.Args[0].String()]
+				col := findArg(call.Args[0].String())
 				if col == nil {
 					return fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
 				}
@@ -573,12 +588,15 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 		return nil, itemErr
 	}
 
-	results := vector.GroupAggregate(grouping.IDs, grouping.NumGroups, specs, workers)
+	results := vector.GroupAggregateWith(ctx.mem, grouping.IDs, grouping.NumGroups, specs, workers)
 
-	// Group-key values come from each group's first-encounter row.
+	// Group-key values come from each group's first-encounter row. Both
+	// the key table and the output rows are carved from single flat
+	// backing arrays — one allocation each, not one per group.
 	keyVals := make([][]vector.Value, len(keyCols))
+	kflat := make([]vector.Value, len(keyCols)*grouping.NumGroups)
 	for k, kc := range keyCols {
-		keyVals[k] = make([]vector.Value, grouping.NumGroups)
+		keyVals[k] = kflat[k*grouping.NumGroups : (k+1)*grouping.NumGroups]
 		for g, rep := range grouping.Rep {
 			if rep >= 0 {
 				keyVals[k][g] = kc.Value(int(rep))
@@ -587,8 +605,9 @@ func (e *Engine) execAggregate(ctx *QueryContext, sel *sqlparse.SelectStmt, in *
 	}
 
 	rows := make([][]vector.Value, grouping.NumGroups)
+	rflat := make([]vector.Value, grouping.NumGroups*len(sel.Items))
 	for g := 0; g < grouping.NumGroups; g++ {
-		row := make([]vector.Value, len(sel.Items))
+		row := rflat[g*len(sel.Items) : (g+1)*len(sel.Items)]
 		for i := range sel.Items {
 			p := plans[i]
 			switch {
@@ -627,7 +646,9 @@ func groupKeyIndex(sel *sqlparse.SelectStmt) map[string]int {
 // each output column's type from its first non-null value (Int64 when
 // all null).
 func buildAggregateOutput(sel *sqlparse.SelectStmt, rows [][]vector.Value) (*vector.Batch, error) {
-	fields := make([]vector.Field, 0, len(sel.Items))
+	n := len(rows)
+	fields := make([]vector.Field, len(sel.Items))
+	cols := make([]*vector.Column, len(sel.Items))
 	for i, item := range sel.Items {
 		t := vector.Int64
 		for _, row := range rows {
@@ -636,13 +657,49 @@ func buildAggregateOutput(sel *sqlparse.SelectStmt, rows [][]vector.Value) (*vec
 				break
 			}
 		}
-		fields = append(fields, vector.Field{Name: outputName(item, i), Type: t})
+		fields[i] = vector.Field{Name: outputName(item, i), Type: t}
+
+		// Materialize the column directly, presized — the group count is
+		// known, so the row-at-a-time Builder's per-row buffering would
+		// only add allocations.
+		c := &vector.Column{Type: t, Len: n, Enc: vector.Plain}
+		var nulls []bool
+		set := func(g int, v vector.Value) {
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[g] = true
+				return
+			}
+			switch t {
+			case vector.Int64, vector.Timestamp:
+				c.Ints[g] = v.I
+			case vector.Float64:
+				c.Floats[g] = v.F
+			case vector.Bool:
+				c.Bools[g] = v.B
+			case vector.String, vector.Bytes:
+				c.Strs[g] = v.S
+			}
+		}
+		switch t {
+		case vector.Int64, vector.Timestamp:
+			c.Ints = make([]int64, n)
+		case vector.Float64:
+			c.Floats = make([]float64, n)
+		case vector.Bool:
+			c.Bools = make([]bool, n)
+		case vector.String, vector.Bytes:
+			c.Strs = make([]string, n)
+		}
+		for g, row := range rows {
+			set(g, row[i])
+		}
+		c.Nulls = nulls
+		cols[i] = c
 	}
-	builder := vector.NewBuilder(vector.Schema{Fields: fields})
-	for _, row := range rows {
-		builder.Append(row...)
-	}
-	return builder.Build(), nil
+	return &vector.Batch{Schema: vector.Schema{Fields: fields}, Cols: cols, N: n}, nil
 }
 
 // execOrderBy sorts the projected output. ORDER BY expressions may
@@ -701,7 +758,7 @@ func (e *Engine) execOrderBy(ctx *QueryContext, sel *sqlparse.SelectStmt, out, i
 	}
 	cols := make([]*vector.Column, len(out.Cols))
 	for i, c := range out.Cols {
-		cols[i] = vector.Gather(c, idx)
+		cols[i] = vector.GatherWith(ctx.mem, c, idx)
 	}
 	return &vector.Batch{Schema: out.Schema, Cols: cols, N: len(idx)}, nil
 }
@@ -818,6 +875,10 @@ func (e *Engine) execInsert(ctx *QueryContext, ins *sqlparse.InsertStmt) (*Resul
 		}
 		rows = builder.Build()
 	}
+	// The mutator may retain rows past this statement (a transaction
+	// session buffers them until COMMIT), so detach any arena-backed
+	// columns first.
+	rows = vector.DetachBatch(rows)
 	if err := m.Insert(ctx, ins.Table, rows); err != nil {
 		return nil, err
 	}
@@ -927,6 +988,9 @@ func (e *Engine) execCTAS(ctx *QueryContext, cta *sqlparse.CreateTableAsStmt) (*
 	if err != nil {
 		return nil, err
 	}
+	// Detach: the mutator may buffer rows (txn CTAS) and the Result
+	// below outlives the query arena.
+	rows = vector.DetachBatch(rows)
 	if err := m.CreateTableAs(ctx, cta.Table, cta.OrReplace, rows); err != nil {
 		return nil, err
 	}

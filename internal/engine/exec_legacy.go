@@ -95,7 +95,7 @@ func joinKey(b *vector.Batch, keys []int, row int) (string, bool) {
 
 // execAggregateLegacy evaluates GROUP BY / aggregate queries with
 // string-keyed groups and per-group mask aggregation.
-func (e *Engine) execAggregateLegacy(ctx *QueryContext, sel *sqlparse.SelectStmt, in *vector.Batch, keyCols []*vector.Column, argCols map[string]*vector.Column) (*vector.Batch, error) {
+func (e *Engine) execAggregateLegacy(ctx *QueryContext, sel *sqlparse.SelectStmt, in *vector.Batch, keyCols []*vector.Column, findArg func(string) *vector.Column) (*vector.Batch, error) {
 	type group struct {
 		rows []int
 		key  []vector.Value
@@ -129,7 +129,7 @@ func (e *Engine) execAggregateLegacy(ctx *QueryContext, sel *sqlparse.SelectStmt
 
 	evalItem := func(item sqlparse.SelectItem, g *group) (vector.Value, error) {
 		if call, ok := item.Expr.(sqlparse.Call); ok && sqlparse.AggregateFuncs[call.Name] {
-			return evalAggregateCall(call, g.rows, argCols, in.N)
+			return evalAggregateCall(call, g.rows, findArg, in.N)
 		}
 		if i, ok := groupExprIndex[item.Expr.String()]; ok {
 			return g.key[i], nil
@@ -159,14 +159,14 @@ func (e *Engine) execAggregateLegacy(ctx *QueryContext, sel *sqlparse.SelectStmt
 	return buildAggregateOutput(sel, rows)
 }
 
-func evalAggregateCall(call sqlparse.Call, rows []int, argCols map[string]*vector.Column, n int) (vector.Value, error) {
+func evalAggregateCall(call sqlparse.Call, rows []int, findArg func(string) *vector.Column, n int) (vector.Value, error) {
 	if call.Name == "COUNT" && (call.Star || len(call.Args) == 0) {
 		return vector.IntValue(int64(len(rows))), nil
 	}
 	if len(call.Args) != 1 {
 		return vector.NullValue, fmt.Errorf("%w: %s expects one argument", ErrSemantic, call.Name)
 	}
-	col := argCols[call.Args[0].String()]
+	col := findArg(call.Args[0].String())
 	if col == nil {
 		return vector.NullValue, fmt.Errorf("%w: aggregate argument %s not prepared", ErrSemantic, call.Args[0])
 	}

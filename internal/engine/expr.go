@@ -126,12 +126,21 @@ func (e *Engine) evalBool(ctx *QueryContext, b *vector.Batch, expr sqlparse.Expr
 	if c.Type != vector.Bool {
 		return nil, fmt.Errorf("%w: expected BOOL condition, got %v", ErrSemantic, c.Type)
 	}
-	mask := make([]bool, c.Len)
+	mask := ctx.mem.Allocator().Bools(c.Len)
 	for i := 0; i < c.Len; i++ {
 		v := c.Value(i)
 		mask[i] = !v.IsNull() && v.B
 	}
 	return mask, nil
+}
+
+// boolCol wraps a mask produced from the query's allocator in a column,
+// carrying the pooled flag so it is detached if it escapes (a projected
+// boolean expression ends up in the result batch).
+func (e *Engine) boolCol(ctx *QueryContext, mask []bool) *vector.Column {
+	c := vector.NewBoolColumn(mask)
+	c.Pooled = ctx.mem.Pooled()
+	return c
 }
 
 var cmpOpMap = map[string]vector.CmpOp{
@@ -149,10 +158,18 @@ func (e *Engine) evalBinary(ctx *QueryContext, b *vector.Batch, ex sqlparse.Bina
 		if err != nil {
 			return nil, err
 		}
+		// Combine in place: both masks are freshly allocated for this
+		// node, so l can absorb r without a third buffer.
 		if ex.Op == "AND" {
-			return vector.NewBoolColumn(vector.And(l, r)), nil
+			for i := range l {
+				l[i] = l[i] && r[i]
+			}
+		} else {
+			for i := range l {
+				l[i] = l[i] || r[i]
+			}
 		}
-		return vector.NewBoolColumn(vector.Or(l, r)), nil
+		return e.boolCol(ctx, l), nil
 	}
 
 	if op, ok := cmpOpMap[ex.Op]; ok {
@@ -163,14 +180,14 @@ func (e *Engine) evalBinary(ctx *QueryContext, b *vector.Batch, ex sqlparse.Bina
 			if err != nil {
 				return nil, err
 			}
-			return vector.NewBoolColumn(vector.CompareConst(l, op, lit.Value)), nil
+			return e.boolCol(ctx, vector.CompareConstWith(ctx.mem.Al, l, op, lit.Value)), nil
 		}
 		if lit, ok := ex.L.(sqlparse.Literal); ok {
 			r, err := e.evalExpr(ctx, b, ex.R)
 			if err != nil {
 				return nil, err
 			}
-			return vector.NewBoolColumn(vector.CompareConst(r, flipOp(op), lit.Value)), nil
+			return e.boolCol(ctx, vector.CompareConstWith(ctx.mem.Al, r, flipOp(op), lit.Value)), nil
 		}
 		l, err := e.evalExpr(ctx, b, ex.L)
 		if err != nil {

@@ -136,7 +136,7 @@ func (e *Engine) readFileOnce(ctx *QueryContext, tr sim.Charger, fsp *obs.Span, 
 		if full, ok := e.scanCache.get(cacheKey); ok {
 			rd.hit = true
 			fsp.SetStr("cache", "hit")
-			b, err := finishDecoded(full, filePreds, f, t)
+			b, err := finishDecoded(ctx.mem, full, filePreds, f, t)
 			if err != nil {
 				return rd, err
 			}
@@ -151,7 +151,7 @@ func (e *Engine) readFileOnce(ctx *QueryContext, tr sim.Charger, fsp *obs.Span, 
 			return rd, integrity.Annotate(fmt.Errorf("engine: %s/%s: %w", f.Bucket, f.Key, err), t.FullName(), f.Bucket, f.Key)
 		}
 		e.scanCache.put(cacheKey, full)
-		b, err := finishDecoded(full, filePreds, f, t)
+		b, err := finishDecoded(ctx.mem, full, filePreds, f, t)
 		if err != nil {
 			return rd, err
 		}

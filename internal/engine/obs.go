@@ -21,7 +21,12 @@ type engCounters struct {
 	qskips       *obs.Counter
 	cacheEntries *obs.Gauge
 	cacheBytes   *obs.Gauge
-	simElapsed   *obs.Histogram
+	// arenaBytes / arenaRecycled mirror the query-arena pool: slab
+	// bytes retained for reuse, and how many queries were served by a
+	// recycled arena instead of fresh allocation.
+	arenaBytes    *obs.Gauge
+	arenaRecycled *obs.Gauge
+	simElapsed    *obs.Histogram
 }
 
 // simElapsedBounds buckets per-query simulated time in microseconds:
@@ -30,19 +35,21 @@ var simElapsedBounds = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
 func resolveEngCounters(r *obs.Registry) engCounters {
 	return engCounters{
-		queries:      r.Counter("engine.queries"),
-		files:        r.Counter("engine.scan.files"),
-		pruned:       r.Counter("engine.scan.pruned"),
-		listCalls:    r.Counter("engine.scan.list_calls"),
-		footerReads:  r.Counter("engine.scan.footer_reads"),
-		bytes:        r.Counter("engine.scan.bytes"),
-		rows:         r.Counter("engine.scan.rows"),
-		cacheHit:     r.Counter("engine.scan.cache_hit"),
-		cacheMiss:    r.Counter("engine.scan.cache_miss"),
-		qskips:       r.Counter("engine.scan.quarantine_skipped"),
-		cacheEntries: r.Gauge("engine.scan.cache_entries"),
-		cacheBytes:   r.Gauge("engine.scan.cache_bytes"),
-		simElapsed:   r.Histogram("engine.query.sim_elapsed_us", simElapsedBounds),
+		queries:       r.Counter("engine.queries"),
+		files:         r.Counter("engine.scan.files"),
+		pruned:        r.Counter("engine.scan.pruned"),
+		listCalls:     r.Counter("engine.scan.list_calls"),
+		footerReads:   r.Counter("engine.scan.footer_reads"),
+		bytes:         r.Counter("engine.scan.bytes"),
+		rows:          r.Counter("engine.scan.rows"),
+		cacheHit:      r.Counter("engine.scan.cache_hit"),
+		cacheMiss:     r.Counter("engine.scan.cache_miss"),
+		qskips:        r.Counter("engine.scan.quarantine_skipped"),
+		cacheEntries:  r.Gauge("engine.scan.cache_entries"),
+		cacheBytes:    r.Gauge("engine.scan.cache_bytes"),
+		arenaBytes:    r.Gauge("arena.bytes_in_use"),
+		arenaRecycled: r.Gauge("arena.recycled"),
+		simElapsed:    r.Histogram("engine.query.sim_elapsed_us", simElapsedBounds),
 	}
 }
 

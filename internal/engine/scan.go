@@ -338,24 +338,99 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 	}
 
 	results := make([]*vector.Batch, len(files))
-	hits := make([]bool, len(files))
-	misses := make([]bool, len(files))
-	skips := make([]bool, len(files))
-	tracks := startTracks(e.Clock, ScanWorkers)
-	var wg sync.WaitGroup
-	errs := make(chan error, len(files))
-	sem := make(chan struct{}, ScanWorkers)
+
+	// Warm pass: probe the quarantine log and the generation-keyed scan
+	// cache synchronously. An object generation pins immutable content,
+	// so a known-generation hit skips the GET and the decode — and a hit
+	// needs no worker either, just a predicate pass over the resident
+	// batch. On the steady-state hot path (every surviving file already
+	// decoded) the scan completes here with no goroutines, channels, or
+	// clock tracks at all; only cold files fall through to the parallel
+	// fetch below.
+	var cold []int
 	for i, f := range files {
+		// Containment gate: a quarantined file fails fast with a typed
+		// error naming table and file — or is skipped with a warning
+		// under the explicit opt-in.
+		if e.Log != nil {
+			if m, qok := e.Log.IsQuarantined(t.FullName(), f.Key); qok {
+				if e.Opts.SkipQuarantined {
+					ctx.Stats.QuarantineSkips++
+					e.Obs.Counter("integrity.quarantine_skips").Add(1)
+					e.Obs.Event("integrity.warnings",
+						fmt.Sprintf("skipping quarantined file %s/%s of table %s: %s", f.Bucket, f.Key, t.FullName(), m.Reason))
+					continue
+				}
+				return nil, &integrity.Error{Source: "engine.quarantine", Table: t.FullName(),
+					Bucket: f.Bucket, Key: f.Key, Detail: "file is quarantined: " + m.Reason}
+			}
+		}
+		if e.scanCache != nil && f.Generation > 0 {
+			cacheKey := scanCacheKey{Cloud: t.Cloud, Bucket: f.Bucket, Key: f.Key, Generation: f.Generation}
+			if full, ok := e.scanCache.get(cacheKey); ok {
+				var fsp *obs.Span
+				if ctx.Span != nil {
+					fsp = ctx.Span.Child("read " + f.Key)
+					fsp.SetInt("bytes", f.Size)
+					fsp.SetStr("cache", "hit")
+				}
+				b, err := finishDecoded(ctx.mem, full, filePreds, f, t)
+				if err != nil {
+					fsp.End()
+					return nil, err
+				}
+				fsp.SetInt("rows", int64(b.N))
+				fsp.End()
+				results[i] = b
+				ctx.Stats.CacheHits++
+				continue
+			}
+		}
+		cold = append(cold, i)
+	}
+	if len(cold) > 0 {
+		if err := e.readColdFiles(ctx, store, cred, t, files, cold, results, filePreds); err != nil {
+			return nil, err
+		}
+	}
+
+	out, err := e.mergeScan(ctx, t, results)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Stats.FilesScanned += int64(len(files))
+	for _, f := range files {
+		ctx.Stats.BytesScanned += f.Size
+	}
+	ctx.Stats.RowsScanned += int64(out.N)
+	return out, nil
+}
+
+// readColdFiles fetches and decodes the files the warm pass could not
+// serve from the scan cache, in parallel worker tracks.
+func (e *Engine) readColdFiles(ctx *QueryContext, store *objstore.Store, cred objstore.Credential, t catalog.Table, files []bigmeta.FileEntry, cold []int, results []*vector.Batch, filePreds []colfmt.Predicate) error {
+	workers := ScanWorkers
+	if len(cold) < workers {
+		workers = len(cold)
+	}
+	hits := make([]bool, len(cold))
+	misses := make([]bool, len(cold))
+	skips := make([]bool, len(cold))
+	tracks := startTracks(e.Clock, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cold))
+	sem := make(chan struct{}, workers)
+	for w, fi := range cold {
 		wg.Add(1)
-		go func(i int, f bigmeta.FileEntry) {
+		go func(w, i int, f bigmeta.FileEntry) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tr := tracks[i%ScanWorkers]
+			tr := tracks[w%workers]
 			var fsp *obs.Span
 			if ctx.Span != nil {
 				fsp = ctx.Span.ChildAt(tr, "read "+f.Key)
-				fsp.SetLane(i % ScanWorkers)
+				fsp.SetLane(w % workers)
 				fsp.SetInt("bytes", f.Size)
 			}
 			defer func() {
@@ -364,44 +439,6 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 				}
 				fsp.End()
 			}()
-
-			// Containment gate: a quarantined file fails fast with a
-			// typed error naming table and file — or is skipped with a
-			// warning under the explicit opt-in.
-			if e.Log != nil {
-				if m, qok := e.Log.IsQuarantined(t.FullName(), f.Key); qok {
-					if e.Opts.SkipQuarantined {
-						skips[i] = true
-						fsp.SetStr("quarantined", "skipped")
-						e.Obs.Counter("integrity.quarantine_skips").Add(1)
-						e.Obs.Event("integrity.warnings",
-							fmt.Sprintf("skipping quarantined file %s/%s of table %s: %s", f.Bucket, f.Key, t.FullName(), m.Reason))
-						return
-					}
-					errs <- &integrity.Error{Source: "engine.quarantine", Table: t.FullName(),
-						Bucket: f.Bucket, Key: f.Key, Detail: "file is quarantined: " + m.Reason}
-					return
-				}
-			}
-
-			// Generation-keyed scan cache: an object generation pins
-			// immutable content, so a known-generation hit skips both
-			// the GET and the decode. Entries are only ever populated
-			// from decodes that passed CRC verification.
-			if e.scanCache != nil && f.Generation > 0 {
-				cacheKey := scanCacheKey{Cloud: t.Cloud, Bucket: f.Bucket, Key: f.Key, Generation: f.Generation}
-				if full, ok := e.scanCache.get(cacheKey); ok {
-					hits[i] = true
-					fsp.SetStr("cache", "hit")
-					b, err := finishDecoded(full, filePreds, f, t)
-					if err != nil {
-						errs <- err
-						return
-					}
-					results[i] = b
-					return
-				}
-			}
 
 			rd, err := e.readFileOnce(ctx, tr, fsp, store, cred, t, f, filePreds)
 			if err != nil && errors.Is(err, integrity.ErrCorrupt) {
@@ -427,7 +464,7 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 					fsp.SetStr("integrity", "quarantined")
 					skipped, ferr := e.containCorrupt(ctx, t, f, err2)
 					if skipped {
-						skips[i] = true
+						skips[w] = true
 						e.Obs.Counter("integrity.quarantine_skips").Add(1)
 						return
 					}
@@ -442,34 +479,50 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 				errs <- err
 				return
 			}
-			hits[i], misses[i] = rd.hit, rd.miss
+			hits[w], misses[w] = rd.hit, rd.miss
 			results[i] = rd.batch
-		}(i, f)
+		}(w, fi, files[fi])
 	}
 	wg.Wait()
 	// Join tracks before any error return so sim tracks never leak.
 	joinTracks(tracks)
-	for i := range files {
-		if hits[i] {
+	for w := range cold {
+		if hits[w] {
 			ctx.Stats.CacheHits++
 		}
-		if misses[i] {
+		if misses[w] {
 			ctx.Stats.CacheMisses++
 		}
-		if skips[i] {
+		if skips[w] {
 			ctx.Stats.QuarantineSkips++
 		}
 	}
-	if err := drainErrs(errs); err != nil {
-		return nil, err
-	}
+	return drainErrs(errs)
+}
 
+// mergeScan concatenates per-file results into the scan output. Under
+// GC-lean the merge is a single sized pass drawing from the query
+// arena (and keeps dictionary columns encoded); the legacy path keeps
+// the original pairwise AppendBatch fold, so Options.GCLean gates the
+// whole memory-discipline change and the perf harness can A/B the two
+// within one binary.
+func (e *Engine) mergeScan(ctx *QueryContext, t catalog.Table, results []*vector.Batch) (*vector.Batch, error) {
+	if ctx.mem.Al != nil {
+		out, err := vector.ConcatBatchesWith(ctx.mem, results)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = vector.EmptyBatch(t.Schema)
+		}
+		return out, nil
+	}
 	var out *vector.Batch
+	var err error
 	for _, b := range results {
 		if b == nil {
 			continue
 		}
-		var err error
 		out, err = vector.AppendBatch(out, b)
 		if err != nil {
 			return nil, err
@@ -478,11 +531,6 @@ func (e *Engine) readFiles(ctx *QueryContext, store *objstore.Store, cred objsto
 	if out == nil {
 		out = vector.EmptyBatch(t.Schema)
 	}
-	ctx.Stats.FilesScanned += int64(len(files))
-	for _, f := range files {
-		ctx.Stats.BytesScanned += f.Size
-	}
-	ctx.Stats.RowsScanned += int64(out.N)
 	return out, nil
 }
 
@@ -514,7 +562,7 @@ func decodeFile(data []byte, filePreds []colfmt.Predicate) (*vector.Batch, error
 // finishDecoded turns a cached full (unfiltered) decode into the same
 // batch the direct read path produces: predicate filtering followed by
 // partition-column injection.
-func finishDecoded(full *vector.Batch, filePreds []colfmt.Predicate, f bigmeta.FileEntry, t catalog.Table) (*vector.Batch, error) {
+func finishDecoded(mem vector.Mem, full *vector.Batch, filePreds []colfmt.Predicate, f bigmeta.FileEntry, t catalog.Table) (*vector.Batch, error) {
 	b := full
 	preds := filePreds[:0:0]
 	for _, p := range filePreds {
@@ -523,11 +571,11 @@ func finishDecoded(full *vector.Batch, filePreds []colfmt.Predicate, f bigmeta.F
 		}
 	}
 	if len(preds) > 0 {
-		mask, err := colfmt.EvalPredicates(b, preds)
+		mask, err := colfmt.EvalPredicatesWith(mem.Al, b, preds)
 		if err != nil {
 			return nil, err
 		}
-		b, err = vector.Filter(b, mask)
+		b, err = vector.FilterWith(mem, b, mask)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"biglake/internal/engine"
 )
 
 // These tests assert the paper-shaped outcome of every experiment at
@@ -532,5 +534,102 @@ func TestE19Deterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// e20TestConfig shrinks E20 for a fast deterministic smoke run.
+func e20TestConfig() E20Config {
+	return E20Config{
+		FactRows: 30000, DimRows: 256, FactFiles: 4,
+		AllocRuns: 4, PointWarmup: 8, PointQueries: 40, MixEvery: 10,
+		CellSamples: 2, Workers: []int{1, 2}, Seed: 20,
+	}
+}
+
+func TestE20(t *testing.T) {
+	res, err := RunE20Config(e20TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance claim is >=5x allocs/op on the benchmark shape;
+	// the shrunk smoke run keeps a margin below that but must still
+	// show the arena drastically off the hot path.
+	if res.AllocReduction < 3 {
+		t.Fatalf("allocs/op reduction = %.2fx (eager %.0f, lean %.0f), want >= 3x",
+			res.AllocReduction, res.Eager.AllocsPerOp, res.Lean.AllocsPerOp)
+	}
+	if res.BytesReduction < 3 {
+		t.Fatalf("bytes/op reduction = %.2fx, want >= 3x", res.BytesReduction)
+	}
+	// Wall-clock QPS on a tiny workload is too noisy to rank arms in a
+	// unit test; just require both arms ran.
+	if res.EagerQPS <= 0 || res.LeanQPS <= 0 {
+		t.Fatalf("point-lookup arm did not run: eager=%f lean=%f", res.EagerQPS, res.LeanQPS)
+	}
+	wantCells := 2 * len(e20TestConfig().Workers) * 2
+	if len(res.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
+	}
+	for _, c := range res.Cells {
+		if c.MeanUs <= 0 || c.Samples != e20TestConfig().CellSamples {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestE20TrajectoryCompare(t *testing.T) {
+	base := []E20Cell{
+		{Name: "a", MeanUs: 1000, StddevUs: 20},
+		{Name: "b", MeanUs: 1000, StddevUs: 300},
+		{Name: "gone", MeanUs: 50, StddevUs: 1},
+	}
+	cur := []E20Cell{
+		// 30% slower, tight noise: must flag.
+		{Name: "a", MeanUs: 1300, StddevUs: 25},
+		// 30% slower but inside 3 sigma of a noisy cell: must not flag.
+		{Name: "b", MeanUs: 1300, StddevUs: 300},
+		// New cell with no baseline: skipped.
+		{Name: "new", MeanUs: 9999, StddevUs: 1},
+	}
+	regs := TrajectoryCompare(base, cur)
+	if len(regs) != 1 || regs[0].Cell != "a" {
+		t.Fatalf("regressions = %v, want exactly cell a", regs)
+	}
+	if regs[0].ExcessUs <= 0 || regs[0].BandUs <= 0 {
+		t.Fatalf("bad regression record: %+v", regs[0])
+	}
+	// Small-relative-change guard: 3 sigma exceeded but under 10%.
+	regs = TrajectoryCompare(
+		[]E20Cell{{Name: "c", MeanUs: 10000, StddevUs: 10}},
+		[]E20Cell{{Name: "c", MeanUs: 10500, StddevUs: 10}})
+	if len(regs) != 0 {
+		t.Fatalf("flagged a <10%% drift as regression: %v", regs)
+	}
+}
+
+// BenchmarkE20GCLean is the headline benchmark: the E15 star join on a
+// warmed GC-lean engine. Run with -benchmem; allocs/op is the number
+// the arena work is judged by.
+func BenchmarkE20GCLean(b *testing.B) {
+	env, err := NewEnv(engine.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loadE15(env, 30000, 256, 4); err != nil {
+		b.Fatal(err)
+	}
+	opts := engine.DefaultOptions()
+	opts.EnableScanCache = true
+	eng := engine.New(env.Cat, env.Auth, env.Meta, env.Log, env.Clock, env.Engine.Stores, opts)
+	eng.ManagedCred = env.Cred
+	if _, err := eng.Query(engine.NewContext(Admin, "bench-warm"), e15Query); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(engine.NewContext(Admin, fmt.Sprintf("bench-%d", i)), e15Query); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -221,6 +221,7 @@ func (cw *crashWorld) wire() {
 		// Scan-cache on: crash/recovery sweeps double as validation that
 		// generation-keyed reuse never resurrects pre-crash file contents.
 		EnableScanCache: true,
+		GCLean:          true,
 	})
 	eng.ManagedCred = w.cred
 	eng.SetMutator(mgr)

@@ -236,6 +236,9 @@ func (h *harness) engineFor(cfg Config) *engine.Engine {
 		EnableDPP:        cfg.DPP,
 		PruneGranularity: cfg.Granularity,
 		EnableScanCache:  cfg.ScanCache,
+		// GC-lean on: every differential query also cross-checks the
+		// arena + late-materialization path against the oracle.
+		GCLean: true,
 	})
 	eng.ManagedCred = h.w.cred
 	eng.SetMutator(h.w.mgr)

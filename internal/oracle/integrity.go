@@ -105,6 +105,7 @@ func (h *harness) integrityEngine(cell IntegrityCell, reg *obs.Registry, skipQua
 		PruneGranularity: bigmeta.PruneFiles,
 		EnableScanCache:  cell.ScanCache,
 		SkipQuarantined:  skipQuarantined,
+		GCLean:           true,
 	})
 	eng.ManagedCred = h.w.cred
 	eng.SetMutator(h.w.mgr)

@@ -19,8 +19,8 @@ package oracle
 // a serializable, orphan-free state.
 
 import (
-	"fmt"
 	"errors"
+	"fmt"
 
 	"biglake/internal/bigmeta"
 	"biglake/internal/blmt"
@@ -218,6 +218,7 @@ func (tw *txnWorld) wire() {
 	meta := bigmeta.NewCache(w.clock, nil)
 	eng := engine.New(w.cat, w.auth, meta, w.log, w.clock, w.stores, engine.Options{
 		UseMetadataCache: true, EnableDPP: true, PruneGranularity: bigmeta.PruneFiles,
+		GCLean: true,
 	})
 	eng.ManagedCred = w.cred
 	mgr := blmt.New(w.cat, w.auth, w.log, w.clock, w.stores)

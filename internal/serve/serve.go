@@ -132,7 +132,7 @@ func (s *Session) Parse(sql string) (*Prepared, error) {
 	if closed {
 		return nil, ErrSessionClosed
 	}
-	stmt, err := sqlparse.Parse(sql)
+	stmt, _, err := s.srv.eng.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -410,6 +410,11 @@ func (s *Session) runStatement(p *Prepared, g *Grant) (cur *Cursor, err error) {
 	if batch == nil {
 		batch = vector.EmptyBatch(vector.Schema{})
 	}
+	// Cursors outlive the query: pages stream to the client long after
+	// the engine has recycled the query's arena. The engine detaches
+	// its own results, but the session boundary owns the lifetime
+	// guarantee, so enforce it here too.
+	batch = vector.DetachBatch(batch)
 	return &Cursor{
 		sess:  s,
 		ctx:   ctx,

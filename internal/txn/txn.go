@@ -104,18 +104,18 @@ type Manager struct {
 // txnCounters holds pre-resolved registry handles so the per-statement
 // path never takes the registry's name-lookup lock.
 type txnCounters struct {
-	reg        *obs.Registry
-	activeG    *obs.Gauge
-	begins     *obs.Counter
-	commits    *obs.Counter
-	commitsRO  *obs.Counter
-	retries    *obs.Counter
-	tables     *obs.Counter
-	files      *obs.Counter
-	aborts     map[string]*obs.Counter
-	pinAgeUS   *obs.Histogram
-	validated  *obs.Counter
-	replays    *obs.Counter
+	reg       *obs.Registry
+	activeG   *obs.Gauge
+	begins    *obs.Counter
+	commits   *obs.Counter
+	commitsRO *obs.Counter
+	retries   *obs.Counter
+	tables    *obs.Counter
+	files     *obs.Counter
+	aborts    map[string]*obs.Counter
+	pinAgeUS  *obs.Histogram
+	validated *obs.Counter
+	replays   *obs.Counter
 }
 
 // pinAgeBounds buckets snapshot-pin age (microseconds of simulated
@@ -333,7 +333,7 @@ func (s *Session) newCtx(tag string) *engine.QueryContext {
 // BEGIN is rejected (no nesting); COMMIT and ROLLBACK resolve the
 // session and return a one-row status batch.
 func (s *Session) Exec(sql string) (*engine.Result, error) {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, _, err := s.m.Eng.Parse(sql)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,179 @@
+package vector
+
+// Alloc hands out typed scratch slices for the execution kernels. The
+// production implementation is *arena.Arena (matched structurally to
+// avoid an import cycle); Heap is the fallback that preserves the
+// pre-arena make() behavior. Implementations must return zeroed
+// slices with cap == len, or nil when n == 0.
+type Alloc interface {
+	Int64s(n int) []int64
+	Float64s(n int) []float64
+	Bools(n int) []bool
+	Strings(n int) []string
+	Int32s(n int) []int32
+	Uint32s(n int) []uint32
+	Uint64s(n int) []uint64
+	Ints(n int) []int
+	// Pooled reports whether slices are recycled after the query:
+	// kernels mark output columns Pooled so escape points know to
+	// detach them.
+	Pooled() bool
+}
+
+type heapAlloc struct{}
+
+func (heapAlloc) Int64s(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	return make([]int64, n)
+}
+
+func (heapAlloc) Float64s(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return make([]float64, n)
+}
+
+func (heapAlloc) Bools(n int) []bool {
+	if n == 0 {
+		return nil
+	}
+	return make([]bool, n)
+}
+
+func (heapAlloc) Strings(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return make([]string, n)
+}
+
+func (heapAlloc) Int32s(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return make([]int32, n)
+}
+
+func (heapAlloc) Uint32s(n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+func (heapAlloc) Uint64s(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	return make([]uint64, n)
+}
+
+func (heapAlloc) Ints(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return make([]int, n)
+}
+
+func (heapAlloc) Pooled() bool { return false }
+
+// Heap is the allocator used when no arena is attached.
+var Heap Alloc = heapAlloc{}
+
+// Mem bundles the memory policy a query threads through the kernels:
+// where scratch and outputs come from, and whether dictionary columns
+// stay encoded (late materialization) through gather/join/group. The
+// zero value is the legacy behavior: heap allocation, eager decode.
+type Mem struct {
+	Al      Alloc
+	LateMat bool
+}
+
+// Allocator returns the active allocator, defaulting to Heap.
+func (m Mem) Allocator() Alloc {
+	if m.Al == nil {
+		return Heap
+	}
+	return m.Al
+}
+
+// Pooled reports whether kernel outputs must be marked Column.Pooled
+// (the allocator recycles its slices after the query).
+func (m Mem) Pooled() bool { return m.Al != nil && m.Al.Pooled() }
+
+// appendI32 appends v to s, growing through al with doubling so the
+// hot probe loops never touch the heap once warm.
+func appendI32(al Alloc, s []int32, v int32) []int32 {
+	if len(s) == cap(s) {
+		ncap := cap(s) * 2
+		if ncap < 64 {
+			ncap = 64
+		}
+		ns := al.Int32s(ncap)[:len(s)]
+		copy(ns, s)
+		s = ns
+	}
+	return append(s, v)
+}
+
+// DetachColumn returns a column whose backing arrays are heap-owned:
+// pooled (arena-backed) columns are deep-copied, everything else is
+// returned as-is. This is the copy-out at every boundary where data
+// outlives the query arena (Execute results, txn insert buffers,
+// serve cursor pages).
+func DetachColumn(c *Column) *Column {
+	if c == nil || !c.Pooled {
+		return c
+	}
+	out := *c
+	out.Pooled = false
+	if c.Nulls != nil {
+		out.Nulls = append([]bool(nil), c.Nulls...)
+	}
+	if c.Ints != nil {
+		out.Ints = append([]int64(nil), c.Ints...)
+	}
+	if c.Floats != nil {
+		out.Floats = append([]float64(nil), c.Floats...)
+	}
+	if c.Bools != nil {
+		out.Bools = append([]bool(nil), c.Bools...)
+	}
+	if c.Strs != nil {
+		out.Strs = append([]string(nil), c.Strs...)
+	}
+	if c.Codes != nil {
+		out.Codes = append([]uint32(nil), c.Codes...)
+	}
+	if c.Runs != nil {
+		out.Runs = append([]Run(nil), c.Runs...)
+	}
+	return &out
+}
+
+// DetachBatch deep-copies any pooled columns so the batch is safe to
+// retain after the query's arena is recycled. Batches with no pooled
+// columns are returned unchanged.
+func DetachBatch(b *Batch) *Batch {
+	if b == nil {
+		return nil
+	}
+	any := false
+	for _, c := range b.Cols {
+		if c != nil && c.Pooled {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return b
+	}
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = DetachColumn(c)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols, N: b.N}
+}

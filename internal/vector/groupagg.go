@@ -69,93 +69,164 @@ func groupKeysEq(keys []keyAccess, i, j int) bool {
 // zero rows, matching SQL's global-aggregate-of-empty-input one-row
 // semantics; Rep[0] is -1 in that case).
 func GroupKeys(keys []*Column, n, workers int) Grouping {
+	return GroupKeysWith(Mem{}, keys, n, workers)
+}
+
+// localTableSize is the per-worker open-addressing table used for
+// morsel-local grouping: a power of two at least 2x MorselRows, so
+// the table never exceeds half load and never needs to grow. Exact
+// hash+key comparison makes the table size invisible in results.
+const localTableSize = 8192
+
+// GroupKeysWith is GroupKeys with an explicit memory policy. The
+// per-morsel map[uint64][]int32 tables of the original implementation
+// are replaced by reusable per-worker open-addressing tables and flat
+// representative buffers — zero steady-state allocation — while
+// producing the identical grouping (global first-encounter order,
+// merged sequentially in morsel order).
+func GroupKeysWith(m Mem, keys []*Column, n, workers int) Grouping {
 	if workers < 1 {
 		workers = 1
 	}
+	al := m.Allocator()
 	if len(keys) == 0 {
 		rep := []int32{0}
 		if n == 0 {
 			rep[0] = -1
 		}
-		return Grouping{NumGroups: 1, IDs: make([]int32, n), Rep: rep}
+		return Grouping{NumGroups: 1, IDs: al.Int32s(n), Rep: rep}
 	}
 	if n == 0 {
 		return Grouping{}
 	}
 	ka := make([]keyAccess, len(keys))
 	for i, c := range keys {
-		ka[i] = newKeyAccess(c)
+		ka[i] = newKeyAccessWith(al, c)
 	}
 
-	hashes := make([]uint64, n)
+	hashes := al.Uint64s(n)
 	forMorsels(n, workers, func(_, _, lo, hi int) {
 		groupHashRange(ka, hashes, lo, hi)
 	})
 
-	// Per-morsel local grouping (parallel): local IDs in local
-	// first-encounter order, one representative row per local group.
-	type localGroups struct {
-		reps  []int32 // representative row per local group
-		ids   []int32 // per-row local ID, offset by morsel lo
-		trans []int32 // local ID -> global ID (filled by the merge)
+	mc := morselCount(n)
+	nw := workers
+	if nw > mc {
+		nw = mc
 	}
-	locals := make([]localGroups, morselCount(n))
-	forMorsels(n, workers, func(_, m, lo, hi int) {
-		lg := localGroups{ids: make([]int32, hi-lo)}
-		seen := make(map[uint64][]int32, hi-lo)
+	ids := al.Int32s(n)
+
+	// Per-morsel local grouping (parallel): local IDs in local
+	// first-encounter order written straight into ids, representatives
+	// appended to a flat per-worker buffer. tabs hold the local row of
+	// each occupied slot's representative relative to the morsel's
+	// base; touched lists make the reset between morsels O(groups).
+	tabs := make([][]int32, nw)
+	touch := make([][]int32, nw)
+	repBufs := make([][]int32, nw)
+	repWorker := al.Int32s(mc)
+	repOff := al.Int32s(mc)
+	repLen := al.Int32s(mc)
+	forMorsels(n, nw, func(w, mor, lo, hi int) {
+		tab := tabs[w]
+		if tab == nil {
+			tab = al.Int32s(localTableSize)
+			for i := range tab {
+				tab[i] = -1
+			}
+			tabs[w] = tab
+		}
+		tb := touch[w][:0]
+		rb := repBufs[w]
+		base := int32(len(rb))
 		for i := lo; i < hi; i++ {
 			h := hashes[i]
-			id := int32(-1)
-			for _, cand := range seen[h] {
-				if groupKeysEq(ka, i, int(lg.reps[cand])) {
+			slot := int(h & (localTableSize - 1))
+			var id int32
+			for {
+				cand := tab[slot]
+				if cand < 0 {
+					id = int32(len(rb)) - base
+					rb = appendI32(al, rb, int32(i))
+					tab[slot] = id
+					tb = appendI32(al, tb, int32(slot))
+					break
+				}
+				rep := rb[base+cand]
+				if hashes[rep] == h && groupKeysEq(ka, i, int(rep)) {
 					id = cand
 					break
 				}
+				slot = (slot + 1) & (localTableSize - 1)
 			}
-			if id < 0 {
-				id = int32(len(lg.reps))
-				lg.reps = append(lg.reps, int32(i))
-				seen[h] = append(seen[h], id)
-			}
-			lg.ids[i-lo] = id
+			ids[i] = id
 		}
-		locals[m] = lg
+		for _, s := range tb {
+			tab[s] = -1
+		}
+		repBufs[w] = rb
+		touch[w] = tb[:0]
+		repWorker[mor], repOff[mor], repLen[mor] = int32(w), base, int32(len(rb))-base
 	})
 
 	// Sequential merge in morsel order: global group IDs come out in
-	// global first-encounter order regardless of worker count.
-	var rep []int32
-	global := make(map[uint64][]int32)
-	for m := range locals {
-		lg := &locals[m]
-		lg.trans = make([]int32, len(lg.reps))
-		for li, r := range lg.reps {
+	// global first-encounter order regardless of worker count. The
+	// global table is open-addressing too, sized for half load.
+	totalReps := 0
+	for m2 := 0; m2 < mc; m2++ {
+		totalReps += int(repLen[m2])
+	}
+	gsize := 8
+	for gsize < 2*totalReps {
+		gsize <<= 1
+	}
+	gtab := al.Int32s(gsize)
+	for i := range gtab {
+		gtab[i] = -1
+	}
+	gmask := gsize - 1
+	repArr := al.Int32s(totalReps)
+	trans := al.Int32s(totalReps)
+	tBase := al.Int32s(mc)
+	nGroups := 0
+	tb := 0
+	for m2 := 0; m2 < mc; m2++ {
+		tBase[m2] = int32(tb)
+		rb := repBufs[repWorker[m2]]
+		for li := 0; li < int(repLen[m2]); li++ {
+			r := rb[int(repOff[m2])+li]
 			h := hashes[r]
-			gid := int32(-1)
-			for _, cand := range global[h] {
-				if groupKeysEq(ka, int(r), int(rep[cand])) {
+			slot := int(h) & gmask
+			var gid int32
+			for {
+				cand := gtab[slot]
+				if cand < 0 {
+					gid = int32(nGroups)
+					repArr[nGroups] = r
+					nGroups++
+					gtab[slot] = gid
+					break
+				}
+				gr := repArr[cand]
+				if hashes[gr] == h && groupKeysEq(ka, int(r), int(gr)) {
 					gid = cand
 					break
 				}
+				slot = (slot + 1) & gmask
 			}
-			if gid < 0 {
-				gid = int32(len(rep))
-				rep = append(rep, r)
-				global[h] = append(global[h], gid)
-			}
-			lg.trans[li] = gid
+			trans[tb+li] = gid
 		}
+		tb += int(repLen[m2])
 	}
 
 	// Parallel translation of local IDs to global IDs.
-	ids := make([]int32, n)
-	forMorsels(n, workers, func(_, m, lo, hi int) {
-		lg := &locals[m]
+	forMorsels(n, nw, func(_, mor, lo, hi int) {
+		b := int(tBase[mor])
 		for i := lo; i < hi; i++ {
-			ids[i] = lg.trans[lg.ids[i-lo]]
+			ids[i] = trans[b+int(ids[i])]
 		}
 	})
-	return Grouping{NumGroups: len(rep), IDs: ids, Rep: rep}
+	return Grouping{NumGroups: nGroups, IDs: ids, Rep: repArr[:nGroups]}
 }
 
 // AggSpec describes one grouped aggregate: Kind applied to Col. A nil
@@ -180,30 +251,30 @@ type aggPartial struct {
 	accRow []int32   // row index of the current MIN/MAX acc (merge tie-break)
 }
 
-func newAggPartial(sp AggSpec, numGroups int) *aggPartial {
-	p := &aggPartial{cnt: make([]int64, numGroups)}
+func newAggPartial(al Alloc, sp AggSpec, numGroups int) *aggPartial {
+	p := &aggPartial{cnt: al.Int64s(numGroups)}
 	if sp.Col == nil {
 		return p
 	}
 	switch sp.Kind {
 	case AggSum:
 		if sp.Col.Type == Float64 {
-			p.sumF = make([]float64, numGroups)
+			p.sumF = al.Float64s(numGroups)
 		} else {
-			p.sumI = make([]int64, numGroups)
+			p.sumI = al.Int64s(numGroups)
 		}
 	case AggMin, AggMax:
-		p.set = make([]bool, numGroups)
-		p.accRow = make([]int32, numGroups)
+		p.set = al.Bools(numGroups)
+		p.accRow = al.Int32s(numGroups)
 		switch sp.Col.Type {
 		case Int64, Timestamp:
-			p.accI = make([]int64, numGroups)
+			p.accI = al.Int64s(numGroups)
 		case Float64:
-			p.accF = make([]float64, numGroups)
+			p.accF = al.Float64s(numGroups)
 		case Bool:
-			p.accB = make([]bool, numGroups)
+			p.accB = al.Bools(numGroups)
 		default:
-			p.accS = make([]string, numGroups)
+			p.accS = al.Strings(numGroups)
 		}
 	}
 	return p
@@ -399,8 +470,7 @@ func copyAcc(dst, src *aggPartial, t Type, g int) {
 // matching the row-at-a-time semantics: COUNT is never NULL; SUM and
 // MIN/MAX over zero non-null rows are NULL; integer-family SUM yields
 // Int64 (even for Timestamp inputs); MIN/MAX keep the column's type.
-func finishSpec(p *aggPartial, sp AggSpec, numGroups int) []Value {
-	out := make([]Value, numGroups)
+func finishSpec(p *aggPartial, sp AggSpec, out []Value) {
 	switch sp.Kind {
 	case AggCount:
 		for g := range out {
@@ -438,7 +508,6 @@ func finishSpec(p *aggPartial, sp AggSpec, numGroups int) []Value {
 			}
 		}
 	}
-	return out
 }
 
 // GroupAggregate computes the given aggregates per group and returns
@@ -448,15 +517,22 @@ func finishSpec(p *aggPartial, sp AggSpec, numGroups int) []Value {
 // per-worker partials; Float64 SUM/MIN/MAX fold sequentially in row
 // order so float results stay bit-identical to the sequential path.
 func GroupAggregate(ids []int32, numGroups int, specs []AggSpec, workers int) [][]Value {
+	return GroupAggregateWith(Mem{}, ids, numGroups, specs, workers)
+}
+
+// GroupAggregateWith is GroupAggregate taking accumulator arrays (and
+// dictionary hash caches) from m's allocator.
+func GroupAggregateWith(m Mem, ids []int32, numGroups int, specs []AggSpec, workers int) [][]Value {
 	if workers < 1 {
 		workers = 1
 	}
+	al := m.Allocator()
 	n := len(ids)
 
 	kas := make([]keyAccess, len(specs))
 	for s, sp := range specs {
 		if sp.Col != nil {
-			kas[s] = newKeyAccess(sp.Col)
+			kas[s] = newKeyAccessWith(al, sp.Col)
 		}
 	}
 
@@ -472,7 +548,7 @@ func GroupAggregate(ids []int32, numGroups int, specs []AggSpec, workers int) []
 		partials[w] = make([]*aggPartial, len(specs))
 		for s := range specs {
 			if !sequentialSpec(specs[s]) {
-				partials[w][s] = newAggPartial(specs[s], numGroups)
+				partials[w][s] = newAggPartial(al, specs[s], numGroups)
 			}
 		}
 	}
@@ -484,11 +560,14 @@ func GroupAggregate(ids []int32, numGroups int, specs []AggSpec, workers int) []
 		}
 	})
 
+	// Result rows for all specs share one flat backing array — the
+	// group count is known, so per-spec appends would only fragment.
 	out := make([][]Value, len(specs))
+	flat := make([]Value, len(specs)*numGroups)
 	for s, sp := range specs {
 		var merged *aggPartial
 		if sequentialSpec(sp) {
-			merged = newAggPartial(sp, numGroups)
+			merged = newAggPartial(al, sp, numGroups)
 			accumRange(merged, sp, kas[s], ids, 0, n)
 		} else {
 			merged = partials[0][s]
@@ -496,7 +575,8 @@ func GroupAggregate(ids []int32, numGroups int, specs []AggSpec, workers int) []
 				mergePartial(merged, partials[w][s], sp, numGroups)
 			}
 		}
-		out[s] = finishSpec(merged, sp, numGroups)
+		out[s] = flat[s*numGroups : (s+1)*numGroups]
+		finishSpec(merged, sp, out[s])
 	}
 	return out
 }

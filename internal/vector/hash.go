@@ -65,13 +65,22 @@ type keyAccess struct {
 }
 
 func newKeyAccess(c *Column) keyAccess {
+	return newKeyAccessWith(nil, c)
+}
+
+// newKeyAccessWith is newKeyAccess taking the dictionary hash cache
+// from al (nil = heap).
+func newKeyAccessWith(al Alloc, c *Column) keyAccess {
+	if al == nil {
+		al = Heap
+	}
 	if c.Enc == RLE {
 		c = c.Decode()
 	}
 	ka := keyAccess{c: c}
 	if c.Enc == Dict {
 		n := c.dictLen()
-		ka.dictHash = make([]uint64, n)
+		ka.dictHash = al.Uint64s(n)
 		for i := 0; i < n; i++ {
 			ka.dictHash[i] = hashValIdx(c, uint32(i))
 		}

@@ -61,10 +61,23 @@ func (op CmpOp) Eval(cmp int) bool {
 // evaluated once per dictionary entry and then mapped over codes; for
 // RLE it is evaluated once per run.
 func CompareConst(c *Column, op CmpOp, val Value) []bool {
-	mask := make([]bool, c.Len)
+	return CompareConstWith(nil, c, op, val)
+}
+
+// CompareConstWith is CompareConst allocating the mask (and dictionary
+// verdict scratch) from al; nil falls back to the heap.
+func CompareConstWith(al Alloc, c *Column, op CmpOp, val Value) []bool {
+	if al == nil {
+		al = Heap
+	}
+	mask := al.Bools(c.Len)
+	if c.Len == 0 {
+		// Preserve the non-nil empty mask of the make() era.
+		mask = []bool{}
+	}
 	switch c.Enc {
 	case Dict:
-		verdicts := dictVerdicts(c, op, val)
+		verdicts := dictVerdicts(al, c, op, val)
 		for i, code := range c.Codes {
 			if code != NullIdx {
 				mask[i] = verdicts[code]
@@ -99,18 +112,9 @@ func CompareConst(c *Column, op CmpOp, val Value) []bool {
 				}
 				return mask
 			}
-			for i, v := range c.Ints {
-				if c.Nulls == nil || !c.Nulls[i] {
-					mask[i] = op.Eval(cmpInt(v, target))
-				}
-			}
+			compareIntsConst(mask, c.Ints, c.Nulls, op, target)
 		case Float64:
-			target := val.AsFloat()
-			for i, v := range c.Floats {
-				if c.Nulls == nil || !c.Nulls[i] {
-					mask[i] = op.Eval(cmpFloat(v, target))
-				}
-			}
+			compareFloatsConst(mask, c.Floats, c.Nulls, op, val.AsFloat())
 		case String, Bytes:
 			target := val.S
 			for i, v := range c.Strs {
@@ -129,13 +133,96 @@ func CompareConst(c *Column, op CmpOp, val Value) []bool {
 	return mask
 }
 
-func dictVerdicts(c *Column, op CmpOp, val Value) []bool {
+func dictVerdicts(al Alloc, c *Column, op CmpOp, val Value) []bool {
 	n := c.dictLen()
-	verdicts := make([]bool, n)
+	verdicts := al.Bools(n)
 	for i := 0; i < n; i++ {
 		verdicts[i] = op.Eval(c.valueAtIdx(uint32(i)).Compare(val))
 	}
 	return verdicts
+}
+
+// compareIntsConst writes `xs[i] op target` into mask with dedicated
+// per-operator loops on the null-free path: the operator dispatch runs
+// once per column instead of once per row, which roughly halves the
+// cost of the hottest scan kernel (point lookups spend most of their
+// CPU here).
+func compareIntsConst(mask []bool, xs []int64, nulls []bool, op CmpOp, target int64) {
+	if nulls != nil {
+		for i, v := range xs {
+			if !nulls[i] {
+				mask[i] = op.Eval(cmpInt(v, target))
+			}
+		}
+		return
+	}
+	switch op {
+	case EQ:
+		for i, v := range xs {
+			mask[i] = v == target
+		}
+	case NE:
+		for i, v := range xs {
+			mask[i] = v != target
+		}
+	case LT:
+		for i, v := range xs {
+			mask[i] = v < target
+		}
+	case LE:
+		for i, v := range xs {
+			mask[i] = v <= target
+		}
+	case GT:
+		for i, v := range xs {
+			mask[i] = v > target
+		}
+	case GE:
+		for i, v := range xs {
+			mask[i] = v >= target
+		}
+	}
+}
+
+// compareFloatsConst is compareIntsConst for float64 columns. The
+// loops are written in terms of < and > only so NaN keeps cmpFloat's
+// semantics exactly: NaN is neither below nor above anything, so
+// cmpFloat reports 0 and EQ/LE/GE match it while NE/LT/GT do not.
+func compareFloatsConst(mask []bool, xs []float64, nulls []bool, op CmpOp, target float64) {
+	if nulls != nil {
+		for i, v := range xs {
+			if !nulls[i] {
+				mask[i] = op.Eval(cmpFloat(v, target))
+			}
+		}
+		return
+	}
+	switch op {
+	case EQ:
+		for i, v := range xs {
+			mask[i] = !(v < target) && !(v > target)
+		}
+	case NE:
+		for i, v := range xs {
+			mask[i] = v < target || v > target
+		}
+	case LT:
+		for i, v := range xs {
+			mask[i] = v < target
+		}
+	case LE:
+		for i, v := range xs {
+			mask[i] = !(v > target)
+		}
+	case GT:
+		for i, v := range xs {
+			mask[i] = v > target
+		}
+	case GE:
+		for i, v := range xs {
+			mask[i] = !(v < target)
+		}
+	}
 }
 
 func cmpInt(a, b int64) int {
@@ -263,48 +350,152 @@ func CountMask(mask []bool) int {
 // Filter returns a batch containing only the rows where mask is true.
 // Output columns are plain-encoded.
 func Filter(b *Batch, mask []bool) (*Batch, error) {
+	return FilterWith(Mem{}, b, mask)
+}
+
+// FilterWith is Filter with an explicit memory policy: selection
+// scratch and output arrays come from m's allocator, and Dict columns
+// stay dictionary-encoded when m.LateMat is set.
+func FilterWith(m Mem, b *Batch, mask []bool) (*Batch, error) {
 	if len(mask) != b.N {
 		return nil, fmt.Errorf("vector: mask length %d != batch %d", len(mask), b.N)
 	}
-	idx := make([]int, 0, b.N)
-	for i, m := range mask {
-		if m {
+	al := m.Allocator()
+	// Count first so the index scratch is sized to the selection, not
+	// the batch: selective filters (point lookups) would otherwise pay
+	// a full-width zeroing pass for a handful of surviving rows.
+	n := 0
+	for _, mv := range mask {
+		if mv {
+			n++
+		}
+	}
+	idx := al.Ints(n)[:0]
+	for i, mv := range mask {
+		if mv {
 			idx = append(idx, i)
 		}
 	}
 	cols := make([]*Column, len(b.Cols))
 	for i, c := range b.Cols {
-		cols[i] = Gather(c, idx)
+		cols[i] = GatherWith(m, c, idx)
 	}
 	return &Batch{Schema: b.Schema, Cols: cols, N: len(idx)}, nil
 }
 
 // Gather materializes the rows at idx into a new plain column.
 func Gather(c *Column, idx []int) *Column {
-	out := &Column{Type: c.Type, Len: len(idx), Enc: Plain}
-	var nulls []bool
+	return GatherWith(Mem{}, c, idx)
+}
+
+// GatherWith gathers the rows at idx. Under late materialization a
+// Dict input stays Dict: only the codes are gathered and the
+// dictionary value arrays are shared, so strings are not copied until
+// result emission (Column.Value decodes on read). Otherwise the
+// output is plain-encoded, matching Gather.
+func GatherWith(m Mem, c *Column, idx []int) *Column {
+	al := m.Allocator()
 	dec := c
 	if c.Enc == RLE {
 		dec = c.Decode() // random access over RLE is O(runs); decode once
 	}
-	for outI, i := range idx {
-		v := dec.Value(i)
-		if v.IsNull() {
-			if nulls == nil {
-				nulls = make([]bool, len(idx))
-			}
-			nulls[outI] = true
-			v = zeroOf(c.Type)
+	if m.LateMat && dec.Enc == Dict {
+		out := &Column{Type: c.Type, Len: len(idx), Enc: Dict, Pooled: m.Pooled() || dec.Pooled}
+		out.Ints, out.Floats, out.Bools, out.Strs = dec.Ints, dec.Floats, dec.Bools, dec.Strs
+		codes := al.Uint32s(len(idx))
+		for outI, i := range idx {
+			codes[outI] = dec.Codes[i]
 		}
+		out.Codes = codes
+		return out
+	}
+	out := &Column{Type: c.Type, Len: len(idx), Enc: Plain, Pooled: m.Pooled()}
+	var nulls []bool
+	nullAt := func(outI int) {
+		if nulls == nil {
+			nulls = al.Bools(len(idx))
+		}
+		nulls[outI] = true
+	}
+	if dec.Enc == Dict {
 		switch c.Type {
 		case Int64, Timestamp:
-			out.Ints = append(out.Ints, v.I)
+			out.Ints = al.Int64s(len(idx))
+			for outI, i := range idx {
+				if code := dec.Codes[i]; code != NullIdx {
+					out.Ints[outI] = dec.Ints[code]
+				} else {
+					nullAt(outI)
+				}
+			}
 		case Float64:
-			out.Floats = append(out.Floats, v.F)
+			out.Floats = al.Float64s(len(idx))
+			for outI, i := range idx {
+				if code := dec.Codes[i]; code != NullIdx {
+					out.Floats[outI] = dec.Floats[code]
+				} else {
+					nullAt(outI)
+				}
+			}
 		case Bool:
-			out.Bools = append(out.Bools, v.B)
+			out.Bools = al.Bools(len(idx))
+			for outI, i := range idx {
+				if code := dec.Codes[i]; code != NullIdx {
+					out.Bools[outI] = dec.Bools[code]
+				} else {
+					nullAt(outI)
+				}
+			}
 		case String, Bytes:
-			out.Strs = append(out.Strs, v.S)
+			out.Strs = al.Strings(len(idx))
+			for outI, i := range idx {
+				if code := dec.Codes[i]; code != NullIdx {
+					out.Strs[outI] = dec.Strs[code]
+				} else {
+					nullAt(outI)
+				}
+			}
+		}
+		out.Nulls = nulls
+		return out
+	}
+	isNull := func(i int) bool { return dec.Nulls != nil && dec.Nulls[i] }
+	switch c.Type {
+	case Int64, Timestamp:
+		out.Ints = al.Int64s(len(idx))
+		for outI, i := range idx {
+			if isNull(i) {
+				nullAt(outI)
+			} else {
+				out.Ints[outI] = dec.Ints[i]
+			}
+		}
+	case Float64:
+		out.Floats = al.Float64s(len(idx))
+		for outI, i := range idx {
+			if isNull(i) {
+				nullAt(outI)
+			} else {
+				out.Floats[outI] = dec.Floats[i]
+			}
+		}
+	case Bool:
+		out.Bools = al.Bools(len(idx))
+		for outI, i := range idx {
+			if isNull(i) {
+				nullAt(outI)
+			} else {
+				out.Bools[outI] = dec.Bools[i]
+			}
+		}
+	case String, Bytes:
+		out.Strs = al.Strings(len(idx))
+		for outI, i := range idx {
+			if isNull(i) {
+				nullAt(outI)
+			} else {
+				out.Strs[outI] = dec.Strs[i]
+			}
 		}
 	}
 	out.Nulls = nulls

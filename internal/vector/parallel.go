@@ -125,15 +125,42 @@ type JoinResult struct {
 // order so results are deterministic for any worker count. Rows where
 // any key column is NULL never match.
 func HashJoin(left, right *Batch, leftKeys, rightKeys []int, kind JoinKind, workers int) (JoinResult, error) {
+	return HashJoinWith(Mem{}, left, right, leftKeys, rightKeys, kind, workers)
+}
+
+// probeSpan records where one probe morsel's output landed inside its
+// worker's scratch buffers, so the final concatenation replays morsel
+// order no matter which worker ran which morsel.
+type probeSpan struct {
+	worker           int32
+	pairOff, pairLen int32
+	outOff, outLen   int32
+}
+
+// probeScratch is one worker's growing probe output. The buffers are
+// append-only, so span offsets recorded earlier stay valid across
+// regrowth.
+type probeScratch struct {
+	left, right, outer []int32
+}
+
+// HashJoinWith is HashJoin with an explicit memory policy: hashes,
+// partition scatter, bucket arrays and outputs come from m's
+// allocator, and per-worker scratch buffers replace the old per-morsel
+// append-to-nil slices. The build table is an open chain (head per
+// bucket + shared next array) instead of per-hash map buckets — same
+// candidate set, same order, no map allocation.
+func HashJoinWith(m Mem, left, right *Batch, leftKeys, rightKeys []int, kind JoinKind, workers int) (JoinResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	al := m.Allocator()
 	la := make([]keyAccess, len(leftKeys))
 	ra := make([]keyAccess, len(rightKeys))
 	typesMatch := true
 	for i := range leftKeys {
-		la[i] = newKeyAccess(left.Cols[leftKeys[i]])
-		ra[i] = newKeyAccess(right.Cols[rightKeys[i]])
+		la[i] = newKeyAccessWith(al, left.Cols[leftKeys[i]])
+		ra[i] = newKeyAccessWith(al, right.Cols[rightKeys[i]])
 		if la[i].c.Type != ra[i].c.Type {
 			// Key identity includes the logical type, so differently
 			// typed key columns (e.g. INT64 vs FLOAT64) can never
@@ -145,7 +172,7 @@ func HashJoin(left, right *Batch, leftKeys, rightKeys []int, kind JoinKind, work
 	var out JoinResult
 	if !typesMatch || right.N == 0 || left.N == 0 {
 		if kind == LeftOuterJoin {
-			out.LeftOuter = make([]int32, left.N)
+			out.LeftOuter = al.Int32s(left.N)
 			for i := range out.LeftOuter {
 				out.LeftOuter[i] = int32(i)
 			}
@@ -153,90 +180,140 @@ func HashJoin(left, right *Batch, leftKeys, rightKeys []int, kind JoinKind, work
 		return out, nil
 	}
 
-	// Hash both sides' keys (probe hashes morsel-parallel).
-	rh := make([]uint64, right.N)
-	rnull := make([]bool, right.N)
+	// Hash both sides' keys (morsel-parallel).
+	rh := al.Uint64s(right.N)
+	rnull := al.Bools(right.N)
 	forMorsels(right.N, workers, func(_, _, lo, hi int) {
 		hashKeyRange(ra, rh, rnull, lo, hi)
 	})
-	lh := make([]uint64, left.N)
-	lnull := make([]bool, left.N)
+	lh := al.Uint64s(left.N)
+	lnull := al.Bools(left.N)
 	forMorsels(left.N, workers, func(_, _, lo, hi int) {
 		hashKeyRange(la, lh, lnull, lo, hi)
 	})
 
-	// Partitioned build: scatter build rows by hash (sequential, so
-	// each partition keeps ascending row order), then build the
-	// per-partition tables in parallel.
+	// Partitioned build: counting-sort build rows by hash into one flat
+	// array (sequential, so each partition keeps ascending row order).
 	nPart := 1
+	partBits := 0
 	for nPart < workers {
 		nPart <<= 1
+		partBits++
 	}
 	mask := uint64(nPart - 1)
-	partRows := make([][]int32, nPart)
+	cnt := al.Ints(nPart)
+	nBuild := 0
+	for r := 0; r < right.N; r++ {
+		if !rnull[r] {
+			cnt[rh[r]&mask]++
+			nBuild++
+		}
+	}
+	start := al.Ints(nPart + 1)
+	sum := 0
+	for p := 0; p < nPart; p++ {
+		start[p] = sum
+		sum += cnt[p]
+		cnt[p] = start[p] // reused as the scatter cursor
+	}
+	start[nPart] = sum
+	flat := al.Int32s(nBuild)
 	for r := 0; r < right.N; r++ {
 		if rnull[r] {
 			continue
 		}
 		p := rh[r] & mask
-		partRows[p] = append(partRows[p], int32(r))
+		flat[cnt[p]] = int32(r)
+		cnt[p]++
 	}
-	tables := make([]map[uint64][]int32, nPart)
+
+	// Per-partition chained tables: a power-of-two head array per
+	// partition plus one shared next array indexed by build row
+	// (partitions own disjoint row sets, so parallel build is
+	// race-free). Rows are inserted in descending order so each
+	// push-front chain reads back ascending — preserving the
+	// "build rows ascending per probe row" contract. Bucket index
+	// uses the hash bits above the partition bits.
+	next := al.Int32s(right.N)
+	heads := make([][]int32, nPart)
 	parallelEach(nPart, workers, func(p int) {
-		m := make(map[uint64][]int32, len(partRows[p]))
-		for _, r := range partRows[p] {
-			h := rh[r]
-			m[h] = append(m[h], r)
+		rows := flat[start[p]:start[p+1]]
+		if len(rows) == 0 {
+			return
 		}
-		tables[p] = m
+		size := 8
+		for size < 2*len(rows) {
+			size <<= 1
+		}
+		h := al.Int32s(size)
+		for i := range h {
+			h[i] = -1
+		}
+		bmask := uint64(size - 1)
+		for i := len(rows) - 1; i >= 0; i-- {
+			r := rows[i]
+			b := (rh[r] >> partBits) & bmask
+			next[r] = h[b]
+			h[b] = r
+		}
+		heads[p] = h
 	})
 
-	// Morsel-parallel probe; per-morsel outputs concatenated in morsel
-	// order preserve the sequential probe order.
-	type probeOut struct {
-		left, right []int32
-		outer       []int32
-	}
-	outs := make([]probeOut, morselCount(left.N))
-	forMorsels(left.N, workers, func(_, m, lo, hi int) {
-		var po probeOut
+	// Morsel-parallel probe into per-worker scratch; spans record each
+	// morsel's slice of its worker's buffers for in-order assembly.
+	spans := make([]probeSpan, morselCount(left.N))
+	scratch := make([]probeScratch, workers)
+	forMorsels(left.N, workers, func(w, mor, lo, hi int) {
+		sc := &scratch[w]
+		p0, o0 := len(sc.left), len(sc.outer)
 		for l := lo; l < hi; l++ {
 			if lnull[l] {
 				if kind == LeftOuterJoin {
-					po.outer = append(po.outer, int32(l))
+					sc.outer = appendI32(al, sc.outer, int32(l))
 				}
 				continue
 			}
 			h := lh[l]
 			matched := false
-			for _, r := range tables[h&mask][h] {
-				if keysEq(la, l, ra, int(r)) {
-					po.left = append(po.left, int32(l))
-					po.right = append(po.right, r)
-					matched = true
+			if hd := heads[h&mask]; hd != nil {
+				b := (h >> partBits) & uint64(len(hd)-1)
+				for r := hd[b]; r >= 0; r = next[r] {
+					if rh[r] == h && keysEq(la, l, ra, int(r)) {
+						sc.left = appendI32(al, sc.left, int32(l))
+						sc.right = appendI32(al, sc.right, r)
+						matched = true
+					}
 				}
 			}
 			if !matched && kind == LeftOuterJoin {
-				po.outer = append(po.outer, int32(l))
+				sc.outer = appendI32(al, sc.outer, int32(l))
 			}
 		}
-		outs[m] = po
+		spans[mor] = probeSpan{
+			worker:  int32(w),
+			pairOff: int32(p0), pairLen: int32(len(sc.left) - p0),
+			outOff: int32(o0), outLen: int32(len(sc.outer) - o0),
+		}
 	})
 
 	var nPairs, nOuter int
-	for _, po := range outs {
-		nPairs += len(po.left)
-		nOuter += len(po.outer)
+	for _, s := range spans {
+		nPairs += int(s.pairLen)
+		nOuter += int(s.outLen)
 	}
-	out.Left = make([]int32, 0, nPairs)
-	out.Right = make([]int32, 0, nPairs)
+	out.Left = al.Int32s(nPairs)
+	out.Right = al.Int32s(nPairs)
 	if nOuter > 0 {
-		out.LeftOuter = make([]int32, 0, nOuter)
+		out.LeftOuter = al.Int32s(nOuter)
 	}
-	for _, po := range outs {
-		out.Left = append(out.Left, po.left...)
-		out.Right = append(out.Right, po.right...)
-		out.LeftOuter = append(out.LeftOuter, po.outer...)
+	po, oo := 0, 0
+	for _, s := range spans {
+		sc := &scratch[s.worker]
+		copy(out.Left[po:], sc.left[s.pairOff:s.pairOff+s.pairLen])
+		copy(out.Right[po:], sc.right[s.pairOff:s.pairOff+s.pairLen])
+		po += int(s.pairLen)
+		copy(out.LeftOuter[oo:], sc.outer[s.outOff:s.outOff+s.outLen])
+		oo += int(s.outLen)
 	}
 	return out, nil
 }

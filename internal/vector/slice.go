@@ -85,15 +85,39 @@ func NullColumn(t Type, n int) *Column {
 // with negative indices producing NULL — the LEFT JOIN null-extension
 // path. Values are copied type-directly, without per-row boxing.
 func GatherNull(c *Column, idx []int32) *Column {
+	return GatherNullWith(Mem{}, c, idx)
+}
+
+// GatherNullWith is GatherNull with an explicit memory policy. Under
+// late materialization a Dict input stays Dict: codes are gathered
+// (negative indices become the NULL code) and the dictionary value
+// arrays are shared, so join outputs carry strings as codes until
+// result emission.
+func GatherNullWith(m Mem, c *Column, idx []int32) *Column {
+	al := m.Allocator()
 	if c.Enc == RLE {
 		c = c.Decode()
 	}
 	n := len(idx)
-	out := &Column{Type: c.Type, Len: n, Enc: Plain}
+	if m.LateMat && c.Enc == Dict {
+		out := &Column{Type: c.Type, Len: n, Enc: Dict, Pooled: m.Pooled() || c.Pooled}
+		out.Ints, out.Floats, out.Bools, out.Strs = c.Ints, c.Floats, c.Bools, c.Strs
+		codes := al.Uint32s(n)
+		for i, src := range idx {
+			if src < 0 {
+				codes[i] = NullIdx
+			} else {
+				codes[i] = c.Codes[src]
+			}
+		}
+		out.Codes = codes
+		return out
+	}
+	out := &Column{Type: c.Type, Len: n, Enc: Plain, Pooled: m.Pooled()}
 	var nulls []bool
 	setNull := func(i int) {
 		if nulls == nil {
-			nulls = make([]bool, n)
+			nulls = al.Bools(n)
 		}
 		nulls[i] = true
 	}
@@ -109,7 +133,7 @@ func GatherNull(c *Column, idx []int32) *Column {
 	}
 	switch c.Type {
 	case Int64, Timestamp:
-		out.Ints = make([]int64, n)
+		out.Ints = al.Int64s(n)
 		for i, src := range idx {
 			if src < 0 {
 				setNull(i)
@@ -122,7 +146,7 @@ func GatherNull(c *Column, idx []int32) *Column {
 			}
 		}
 	case Float64:
-		out.Floats = make([]float64, n)
+		out.Floats = al.Float64s(n)
 		for i, src := range idx {
 			if src < 0 {
 				setNull(i)
@@ -135,7 +159,7 @@ func GatherNull(c *Column, idx []int32) *Column {
 			}
 		}
 	case Bool:
-		out.Bools = make([]bool, n)
+		out.Bools = al.Bools(n)
 		for i, src := range idx {
 			if src < 0 {
 				setNull(i)
@@ -148,7 +172,7 @@ func GatherNull(c *Column, idx []int32) *Column {
 			}
 		}
 	case String, Bytes:
-		out.Strs = make([]string, n)
+		out.Strs = al.Strings(n)
 		for i, src := range idx {
 			if src < 0 {
 				setNull(i)

@@ -299,6 +299,12 @@ type Column struct {
 
 	Codes []uint32 // Dict
 	Runs  []Run    // RLE
+
+	// Pooled marks backing arrays carved from a recycled query arena:
+	// the column is only valid until the query releases its arena, so
+	// any consumer retaining it past that point must DetachColumn
+	// first. Heap-owned columns leave this false.
+	Pooled bool
 }
 
 // NewInt64Column builds a plain Int64 column.
