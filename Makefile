@@ -18,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve integrity bench bench-smoke obs gclean ci
+.PHONY: all vet build test race chaos fuzz fuzz-bug crash txn serve integrity bench bench-smoke obs gclean systables ci
 
 all: build
 
@@ -124,6 +124,20 @@ gclean:
 	$(GO) test -race -run 'TestCursorSurvivesArenaRecycle' ./internal/serve/
 	$(GO) test -run 'TestE20' -v ./internal/exp/
 
+# The queryable-telemetry gate: the systables rings/trackers and the
+# obs registry under the race detector, the direct-engine and
+# serve-session system.* SQL paths (including the self-observation
+# regression), the E21 overhead gate (recording on vs off must take
+# bit-identical trajectories), and the obslint sweep that keeps every
+# registered metric name documented in DESIGN.md.
+systables:
+	$(GO) test -race ./internal/systables/
+	$(GO) test -race -run 'TestHistogramObserveConcurrent|TestSnapshotUnderConcurrentWriters' ./internal/obs/
+	$(GO) test -run 'TestSystem' ./internal/engine/
+	$(GO) test -race -run 'TestSelfObservation|TestServeShedRecorded|TestServeSessionsAndSLOTables|TestServeRecordsOnce' ./internal/serve/
+	$(GO) test -run 'TestE21|TestRunTop' -v ./internal/exp/
+	./scripts/obslint.sh
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -134,4 +148,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchlake -json e2 e15
 
-ci: vet build test race obs chaos fuzz crash txn serve integrity gclean bench-smoke
+ci: vet build test race obs chaos fuzz crash txn serve integrity gclean systables bench-smoke

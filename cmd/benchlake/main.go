@@ -49,9 +49,12 @@ var (
 var experiments = map[string]runner{}
 
 // allIDs is the "all" expansion and the canonical ordering, derived
-// from registration order. fuzz registers but is excluded: it is a
-// soak, not a table.
+// from registration order. fuzz and top register but are excluded:
+// one is a soak, the other an operator view, not a table.
 var allIDs []string
+
+// nonTable experiments register normally but stay out of "all".
+var nonTable = map[string]bool{"fuzz": true, "top": true}
 
 // register adds one experiment to the dispatch table. It panics on a
 // duplicate id so a new experiment cannot silently shadow an earlier
@@ -62,7 +65,7 @@ func register(id string, fn runner) {
 		panic(fmt.Sprintf("benchlake: duplicate experiment id %q", id))
 	}
 	experiments[id] = fn
-	if id != "fuzz" {
+	if !nonTable[id] {
 		allIDs = append(allIDs, id)
 	}
 }
@@ -88,11 +91,13 @@ func init() {
 	register("e18", runE18)
 	register("e19", runE19)
 	register("e20", runE20)
+	register("e21", runE21)
 	register("a1", runA1)
 	register("a2", runA2)
 	register("a3", runA3)
 	register("a4", runA4)
 	register("fuzz", runFuzz)
+	register("top", runTop)
 }
 
 // valueFlags take a separate value argument (`-scale 2`); everything
@@ -136,7 +141,7 @@ func normalizeArgs(argv []string) []string {
 
 func knownID(s string) bool {
 	s = strings.ToLower(s)
-	if s == "all" || s == "fuzz" {
+	if s == "all" || nonTable[s] {
 		return true
 	}
 	for _, id := range allIDs {
@@ -173,6 +178,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: benchlake [-scale N] [-json] [-trace[=file.json]] [-profile] <experiment>...
 experiments: `+strings.Join(allIDs, " ")+` all
+telemetry:   benchlake top          # most expensive retained jobs + hottest counters (system.* SQL)
 fuzzing:     benchlake [-seed N] [-trials N] [-queries N] [-serve] fuzz`)
 }
 
@@ -615,6 +621,55 @@ func compareE20Baseline(cur []exp.E20Cell) ([]exp.E20Regression, bool, error) {
 		return nil, false, fmt.Errorf("BENCH_E20.json: %w", err)
 	}
 	return exp.TrajectoryCompare(base.Cells, cur), true, nil
+}
+
+func runE21(_ *obsSetup) (any, error) {
+	res, err := exp.RunE21(*scale)
+	if err != nil {
+		return nil, err
+	}
+	header("E21 | queryable telemetry: overhead gate and operator questions in system.* SQL")
+	fmt.Printf("tenants=%d offered=%d completed=%d shed=%d  service=%v interarrival=%v\n",
+		res.Tenants, res.Offered, res.Completed, res.Shed, res.ServiceEst, res.Interarrival)
+	fmt.Printf("goodput: recording-off=%.0f qps  recording-on=%.0f qps  overhead=%.2f%% (budget 2%%)\n",
+		res.GoodputOff, res.GoodputOn, res.OverheadPct)
+	fmt.Printf("trajectory checksums match=%v  wall: off=%v on=%v (informational)\n",
+		res.ChecksumMatch, res.WallOff, res.WallOn)
+	fmt.Printf("retained jobs=%d  history captures=%d  delta/counter reconcile=%v\n",
+		res.JobsRetained, res.HistoryCaptures, res.ReconcileOK)
+	fmt.Printf("top tenants by total exec time (system.jobs):\n")
+	fmt.Printf("  %-14s %8s %12s\n", "principal", "queries", "total_us")
+	for _, r := range res.TopTenants {
+		fmt.Printf("  %-14s %8d %12d\n", r.Principal, r.Queries, r.TotalUs)
+	}
+	fmt.Printf("per-class SLO (system.slo):\n")
+	fmt.Printf("  %-8s %10s %12s %8s %8s\n", "class", "p99_us", "attainment", "burn", "total")
+	for _, r := range res.SLO {
+		fmt.Printf("  %-8s %10d %11.3f%% %8.2f %8d\n", r.Class, r.P99Us, 100*r.Attainment, r.Burn, r.Total)
+	}
+	fmt.Printf("shed timeline (system.metrics_history, serve.rejected.queue_full): %d points\n",
+		len(res.ShedTimeline))
+	return res, nil
+}
+
+func runTop(_ *obsSetup) (any, error) {
+	res, err := exp.RunTop(10)
+	if err != nil {
+		return nil, err
+	}
+	header("TOP | most expensive retained jobs and hottest counters (system.* SQL)")
+	fmt.Printf("%-14s %-12s %-6s %-6s %10s %12s %10s %12s\n",
+		"query_id", "principal", "class", "state", "wait_us", "exec_us", "rows", "bytes")
+	for _, j := range res.Jobs {
+		fmt.Printf("%-14s %-12s %-6s %-6s %10d %12d %10d %12d\n",
+			j.QueryID, j.Principal, j.Class, j.State, j.AdmissionWaitUs, j.ExecSimUs, j.RowsScanned, j.BytesScanned)
+	}
+	fmt.Println()
+	fmt.Printf("%-40s %12s\n", "counter", "value")
+	for _, m := range res.Metrics {
+		fmt.Printf("%-40s %12d\n", m.Name, m.Value)
+	}
+	return res, nil
 }
 
 func runA1(_ *obsSetup) (any, error) {

@@ -15,23 +15,25 @@ func TestRegisterPanicsOnDuplicate(t *testing.T) {
 }
 
 // TestRegistryConsistent pins the invariants run() and usage() rely
-// on: allIDs mirrors the dispatch table minus fuzz, in registration
-// order, with no nil runners.
+// on: allIDs mirrors the dispatch table minus the nonTable entries
+// (fuzz, top), in registration order, with no nil runners.
 func TestRegistryConsistent(t *testing.T) {
-	if len(allIDs) != len(experiments)-1 {
-		t.Fatalf("allIDs has %d entries, experiments %d (fuzz should be the only difference)",
-			len(allIDs), len(experiments))
+	if len(allIDs) != len(experiments)-len(nonTable) {
+		t.Fatalf("allIDs has %d entries, experiments %d (nonTable %d should be the only difference)",
+			len(allIDs), len(experiments), len(nonTable))
 	}
 	for _, id := range allIDs {
-		if id == "fuzz" {
-			t.Fatal("fuzz leaked into the all expansion")
+		if nonTable[id] {
+			t.Fatalf("%s leaked into the all expansion", id)
 		}
 		if experiments[id] == nil {
 			t.Fatalf("experiment %q has a nil runner", id)
 		}
 	}
-	if experiments["fuzz"] == nil {
-		t.Fatal("fuzz is not registered")
+	for id := range nonTable {
+		if experiments[id] == nil {
+			t.Fatalf("%s is not registered", id)
+		}
 	}
 	for i, id := range []string{"e1", "e2"} {
 		if allIDs[i] != id {

@@ -89,6 +89,28 @@ func (l *Log) Quarantined(table string) []QuarantineMark {
 	return out
 }
 
+// AllQuarantined returns the current quarantine marks for every table,
+// keyed by table name with each table's marks sorted by key — the
+// enumeration behind the system.quarantine virtual table. Tables with
+// no live marks are absent.
+func (l *Log) AllQuarantined() map[string][]QuarantineMark {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string][]QuarantineMark, len(l.quarantined))
+	for table, marks := range l.quarantined {
+		if len(marks) == 0 {
+			continue
+		}
+		list := make([]QuarantineMark, 0, len(marks))
+		for _, m := range marks {
+			list = append(list, m)
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a].Key < list[b].Key })
+		out[table] = list
+	}
+	return out
+}
+
 // QuarantineFile seals a quarantine mark for one file through the
 // normal commit path (write-ahead journaled when a sink is attached).
 // Re-quarantining an already-marked file is a no-op returning the

@@ -25,6 +25,7 @@ import (
 	"biglake/internal/shuffle"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
+	"biglake/internal/systables"
 	"biglake/internal/vector"
 )
 
@@ -186,6 +187,13 @@ type Engine struct {
 	// Stores maps cloud name -> that cloud's object store.
 	Stores map[string]*objstore.Store
 
+	// Sys serves the virtual "system" dataset: live telemetry
+	// (system.jobs, system.metrics, system.slo, ...) synthesized as
+	// columnar batches at scan time. Execute records a job record per
+	// statement unless the context opts out (the serve layer does, and
+	// records at cursor close instead).
+	Sys *systables.Provider
+
 	// ManagedCred is the internal credential for BigQuery managed
 	// storage (native tables).
 	ManagedCred objstore.Credential
@@ -245,6 +253,7 @@ func New(cat *catalog.Catalog, auth *security.Authority, meta *bigmeta.Cache, lo
 		tvfs:    make(map[string]TVFFunc),
 		ec:      resolveEngCounters(reg),
 		arenas:  arena.NewPoolSized(0, opts.ArenaRetainBytes),
+		Sys:     systables.NewProvider(clock, reg, log),
 	}
 	if opts.EnableScanCache {
 		eng.scanCache = newScanCache(opts.ScanCacheBytes)
@@ -343,6 +352,15 @@ type QueryContext struct {
 	// buffer this way.
 	Mutator Mutator
 
+	// SQLText is the statement's source text, recorded into
+	// system.jobs. Query sets it; callers that Parse themselves (the
+	// serve layer) set it before Execute.
+	SQLText string
+	// SkipJobRecord suppresses Execute's job recording for this
+	// statement. The serve layer sets it and records at cursor close,
+	// so every statement lands in system.jobs exactly once.
+	SkipJobRecord bool
+
 	// mem is the query's memory policy: the arena every kernel draws
 	// scratch and outputs from, plus the late-materialization flag.
 	// Execute installs it for the statement's duration and resets it
@@ -387,6 +405,9 @@ func (e *Engine) Query(ctx *QueryContext, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx.SQLText == "" {
+		ctx.SQLText = sql
+	}
 	return e.Execute(ctx, stmt)
 }
 
@@ -418,8 +439,71 @@ func (e *Engine) Parse(sql string) (stmt sqlparse.Statement, hit bool, err error
 	return stmt, false, nil
 }
 
-// Execute runs a parsed statement.
+// Execute runs a parsed statement and, unless the context opts out,
+// records its terminal state into the system.jobs ring. Recording
+// happens strictly after execution returns, so a statement scanning
+// system.jobs sees the ring as of before itself — never a partial
+// record of its own run (the self-observation rule).
 func (e *Engine) Execute(ctx *QueryContext, stmt sqlparse.Statement) (*Result, error) {
+	if ctx.SkipJobRecord || !e.Sys.Enabled() {
+		return e.executeStmt(ctx, stmt)
+	}
+	pre := ctx.Stats
+	wallStart := time.Now()
+	res, err := e.executeStmt(ctx, stmt)
+	rec := systables.JobRecord{
+		QueryID:         ctx.QueryID,
+		Principal:       string(ctx.Principal),
+		SQL:             ctx.SQLText,
+		Kind:            sqlparse.Kind(stmt),
+		Class:           QueryClass(stmt),
+		State:           systables.StateDone,
+		Start:           ctx.Stats.SimStart,
+		ExecSim:         ctx.Stats.SimElapsed,
+		Wall:            time.Since(wallStart),
+		RowsScanned:     ctx.Stats.RowsScanned - pre.RowsScanned,
+		BytesScanned:    ctx.Stats.BytesScanned - pre.BytesScanned,
+		CacheHits:       ctx.Stats.CacheHits - pre.CacheHits,
+		QuarantineSkips: ctx.Stats.QuarantineSkips - pre.QuarantineSkips,
+	}
+	if err != nil {
+		rec.ErrorClass = systables.ClassifyError(err)
+		if rec.ErrorClass == "cancelled" {
+			rec.State = systables.StateCancelled
+		} else {
+			rec.State = systables.StateFailed
+		}
+	} else if res != nil && res.Batch != nil {
+		rec.RowsReturned = int64(res.Batch.N)
+	}
+	e.Sys.RecordJob(rec)
+	return res, err
+}
+
+// QueryClass buckets a statement for SLO accounting: selects with
+// grouping, joins, or aggregates are "olap", other selects "point",
+// DML "dml", transaction control "txn".
+func QueryClass(stmt sqlparse.Statement) string {
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		if len(s.GroupBy) > 0 || len(s.Joins) > 0 {
+			return "olap"
+		}
+		for _, it := range s.Items {
+			if !it.Star && sqlparse.IsAggregate(it.Expr) {
+				return "olap"
+			}
+		}
+		return "point"
+	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt, *sqlparse.CreateTableAsStmt:
+		return "dml"
+	case *sqlparse.BeginStmt, *sqlparse.CommitStmt, *sqlparse.RollbackStmt:
+		return "txn"
+	}
+	return "other"
+}
+
+func (e *Engine) executeStmt(ctx *QueryContext, stmt sqlparse.Statement) (*Result, error) {
 	owned := e.ensureTrace(ctx)
 	pre := ctx.Stats
 	parentSpan := ctx.Span

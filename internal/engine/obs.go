@@ -67,6 +67,7 @@ func (e *Engine) UseObs(r *obs.Registry) {
 	if e.Res != nil {
 		e.Res.Meter = obs.Tee(e.Meter, r.Prefixed("resilience."))
 	}
+	e.Sys.SetRegistry(r)
 }
 
 // ensureTrace attaches a trace to the context if the engine has a

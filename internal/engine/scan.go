@@ -15,6 +15,7 @@ import (
 	"biglake/internal/resilience"
 	"biglake/internal/sim"
 	"biglake/internal/sqlparse"
+	"biglake/internal/systables"
 	"biglake/internal/vector"
 )
 
@@ -42,6 +43,15 @@ func (e *Engine) scanTable(ctx *QueryContext, name string, preds []colfmt.Predic
 			ctx.Span = parent
 		}()
 	}
+	// The "system" dataset is virtual: catalog resolution falls through
+	// to the telemetry provider, which synthesizes a columnar batch
+	// from live snapshots — no files, no scan cache, and no governance
+	// (system telemetry is readable by any principal; see DESIGN.md
+	// "Queryable telemetry & SLOs").
+	if systables.Is(name) {
+		return e.scanSystemTable(ctx, name, preds)
+	}
+
 	t, err := e.Catalog.Table(name)
 	if err != nil {
 		return nil, err
@@ -66,6 +76,35 @@ func (e *Engine) scanTable(ctx *QueryContext, name string, preds []colfmt.Predic
 	// Governance is applied inside the engine for every scan — the
 	// same implementation the Read API uses (§3.2).
 	return e.Auth.ApplyGovernance(ctx.Principal, name, batch)
+}
+
+// scanSystemTable synthesizes one system.* table from the telemetry
+// provider. Pushdown predicates on columns the table actually has are
+// applied here (the normal pruning contract); the rest fall through to
+// the residual WHERE in execSelect.
+func (e *Engine) scanSystemTable(ctx *QueryContext, name string, preds []colfmt.Predicate) (*vector.Batch, error) {
+	b, err := e.Sys.Scan(name)
+	if err != nil {
+		return nil, err
+	}
+	applicable := preds[:0:0]
+	for _, p := range preds {
+		if b.Column(p.Column) != nil {
+			applicable = append(applicable, p)
+		}
+	}
+	if len(applicable) > 0 {
+		mask, err := colfmt.EvalPredicatesWith(ctx.mem.Al, b, applicable)
+		if err != nil {
+			return nil, err
+		}
+		b, err = vector.FilterWith(ctx.mem, b, mask)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx.Stats.RowsScanned += int64(b.N)
+	return b, nil
 }
 
 // scanLakeTable reads an External or BigLake table from object

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"biglake/internal/bigmeta"
+	"biglake/internal/catalog"
+)
+
+// TestSystemTablesDirect drives SELECTs over the virtual system
+// dataset through the normal engine path: recorded jobs, registry
+// metrics, history snapshots, and SLO rows all resolve without any
+// catalog entry, and predicates push down into the synthesized batch.
+func TestSystemTablesDirect(t *testing.T) {
+	ev := newEnv(t, DefaultOptions())
+	ev.createOrders(t, []string{"us", "eu"}, 2, 50, true)
+
+	// Two user queries to populate the jobs ring: one point, one olap.
+	ev.query(t, adminP, "SELECT order_id FROM ds.orders WHERE order_id = 7")
+	ev.query(t, adminP, "SELECT region, COUNT(*) AS n FROM ds.orders GROUP BY region")
+
+	res := ev.query(t, adminP, "SELECT query_id, sql, class, state, rows_scanned FROM system.jobs WHERE state = 'done'")
+	if res.Batch.N != 2 {
+		t.Fatalf("system.jobs rows = %d, want 2", res.Batch.N)
+	}
+	classes := res.Batch.Column("class")
+	if got := classes.Value(0).S; got != "point" {
+		t.Errorf("first job class = %q, want point", got)
+	}
+	if got := classes.Value(1).S; got != "olap" {
+		t.Errorf("second job class = %q, want olap", got)
+	}
+	if sqlText := res.Batch.Column("sql").Value(0).S; sqlText == "" {
+		t.Errorf("job record lost its SQL text")
+	}
+	if rows := res.Batch.Column("rows_scanned").Value(1).I; rows != 200 {
+		t.Errorf("olap job rows_scanned = %d, want 200", rows)
+	}
+
+	// The jobs query above recorded itself: ring grows by exactly one.
+	res = ev.query(t, adminP, "SELECT query_id FROM system.jobs")
+	if res.Batch.N != 3 {
+		t.Fatalf("system.jobs rows after self-query = %d, want 3", res.Batch.N)
+	}
+
+	// system.metrics surfaces registry counters; predicate pushdown
+	// narrows to one name.
+	res = ev.query(t, adminP, "SELECT name, value FROM system.metrics WHERE name = 'engine.queries' AND kind = 'counter'")
+	if res.Batch.N != 1 {
+		t.Fatalf("system.metrics name filter rows = %d, want 1", res.Batch.N)
+	}
+	if v := res.Batch.Column("value").Value(0).I; v < 4 {
+		t.Errorf("engine.queries counter = %d, want >= 4", v)
+	}
+
+	// system.slo has a row per configured class with the defaults.
+	res = ev.query(t, adminP, "SELECT class, total, attainment FROM system.slo ORDER BY class")
+	if res.Batch.N < 4 {
+		t.Fatalf("system.slo rows = %d, want >= 4", res.Batch.N)
+	}
+	byClass := map[string]int64{}
+	for i := 0; i < res.Batch.N; i++ {
+		byClass[res.Batch.Column("class").Value(i).S] = res.Batch.Column("total").Value(i).I
+	}
+	if byClass["point"] < 2 || byClass["olap"] < 1 {
+		t.Errorf("slo totals = %v, want point >= 2 and olap >= 1", byClass)
+	}
+
+	// system.metrics_history fills from forced captures and carries
+	// reconcilable deltas.
+	ev.eng.Sys.CaptureHistory()
+	ev.clock.Advance(200 * 1e6) // 200ms sim
+	ev.query(t, adminP, "SELECT order_id FROM ds.orders WHERE order_id = 9")
+	ev.eng.Sys.CaptureHistory()
+	res = ev.query(t, adminP, "SELECT ts_us, value, delta FROM system.metrics_history WHERE name = 'engine.queries' ORDER BY ts_us")
+	if res.Batch.N < 2 {
+		t.Fatalf("system.metrics_history rows = %d, want >= 2", res.Batch.N)
+	}
+	first := res.Batch.Column("value").Value(0).I
+	last := res.Batch.Column("value").Value(res.Batch.N - 1).I
+	var deltaSum int64
+	for i := 1; i < res.Batch.N; i++ {
+		deltaSum += res.Batch.Column("delta").Value(i).I
+	}
+	if deltaSum != last-first {
+		t.Errorf("history deltas sum %d, want value difference %d", deltaSum, last-first)
+	}
+
+	// Aggregation over a system table goes through the normal kernels.
+	res = ev.query(t, adminP, "SELECT state, COUNT(*) AS n FROM system.jobs GROUP BY state ORDER BY state")
+	if res.Batch.N == 0 {
+		t.Fatal("aggregate over system.jobs returned no rows")
+	}
+}
+
+// TestSystemTablesNoGovernance: telemetry is readable by any
+// principal — no catalog entry, no grant, no row policy applies.
+func TestSystemTablesNoGovernance(t *testing.T) {
+	ev := newEnv(t, DefaultOptions())
+	ev.createOrders(t, []string{"us"}, 1, 10, true)
+	ev.query(t, adminP, "SELECT order_id FROM ds.orders WHERE order_id = 1")
+
+	res, err := ev.eng.Query(NewContext(aliceP, "alice-sys"), "SELECT query_id, principal FROM system.jobs")
+	if err != nil {
+		t.Fatalf("non-admin system.jobs query: %v", err)
+	}
+	if res.Batch.N == 0 {
+		t.Fatal("non-admin sees empty system.jobs")
+	}
+}
+
+// TestSystemTableUnknown: unclaimed members of the system dataset fail
+// with the catalog's not-found sentinel, not a silent empty result.
+func TestSystemTableUnknown(t *testing.T) {
+	ev := newEnv(t, DefaultOptions())
+	_, err := ev.eng.Query(NewContext(adminP, "q-unknown"), "SELECT x FROM system.nope")
+	if !errors.Is(err, catalog.ErrNotFound) {
+		t.Fatalf("system.nope error = %v, want catalog.ErrNotFound", err)
+	}
+}
+
+// TestSystemQuarantineTable surfaces bigmeta quarantine marks.
+func TestSystemQuarantineTable(t *testing.T) {
+	ev := newEnv(t, DefaultOptions())
+	ev.createOrders(t, []string{"us"}, 1, 10, true)
+	if _, err := ev.log.QuarantineFile(string(adminP), "ds.orders", bigmeta.QuarantineMark{
+		Key: "orders/region=us/part-000.blk", Source: "test", Reason: "bitflip",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := ev.query(t, adminP, "SELECT table_name, file_key, source FROM system.quarantine")
+	if res.Batch.N != 1 {
+		t.Fatalf("system.quarantine rows = %d, want 1", res.Batch.N)
+	}
+	if got := res.Batch.Column("table_name").Value(0).S; got != "ds.orders" {
+		t.Errorf("quarantine table = %q", got)
+	}
+}
+
+// TestSystemJobsDisabled: with recording off the ring stays frozen and
+// scans still work.
+func TestSystemJobsDisabled(t *testing.T) {
+	ev := newEnv(t, DefaultOptions())
+	ev.createOrders(t, []string{"us"}, 1, 10, true)
+	ev.eng.Sys.SetEnabled(false)
+	ev.query(t, adminP, "SELECT order_id FROM ds.orders WHERE order_id = 1")
+	res := ev.query(t, adminP, "SELECT query_id FROM system.jobs")
+	if res.Batch.N != 0 {
+		t.Fatalf("jobs recorded while disabled: %d", res.Batch.N)
+	}
+}

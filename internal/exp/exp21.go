@@ -1,0 +1,371 @@
+package exp
+
+// E21: queryable telemetry under load. The E18 multi-tenant mix runs
+// twice from identical seeds — once with job recording disabled, once
+// with the full system.* pipeline on (jobs ring, SLO tracker, metrics
+// history captures) — and the recording arm must stay within 2% of
+// the blind arm's goodput while taking the bit-identical trajectory
+// (loadtest checksums must match: recording may not perturb admission
+// or scheduling). Then the operator questions the telemetry exists to
+// answer are answered purely in SQL over the system dataset: the
+// top-10 most expensive tenants from system.jobs, per-class p99 and
+// error-budget burn from system.slo, and the shed-rate timeline from
+// system.metrics_history — whose deltas must reconcile with the live
+// rejection counters.
+
+import (
+	"fmt"
+	"time"
+
+	"biglake/internal/serve"
+	"biglake/internal/serve/loadtest"
+	"biglake/internal/vector"
+)
+
+// valS/valI/valF unwrap a vector.Value read back from a system table.
+func valS(v vector.Value) string  { return v.S }
+func valI(v vector.Value) int64   { return v.I }
+func valF(v vector.Value) float64 { return v.F }
+
+// E21Config shapes one telemetry-overhead run. The load shape is an
+// E18Config; Load is the single offered-load multiple (overloaded so
+// sheds populate the timeline).
+type E21Config struct {
+	E18 E18Config
+	// Load is the offered load as a multiple of admitted capacity.
+	Load float64
+	// TopN bounds the tenant leaderboard.
+	TopN int
+}
+
+// DefaultE21Config returns the benchmark configuration; scale
+// multiplies the tenant population (scale 1 = 1000 tenants).
+func DefaultE21Config(scale int) E21Config {
+	cfg := DefaultE18Config(scale)
+	cfg.Seed = 21
+	return E21Config{E18: cfg, Load: 2, TopN: 10}
+}
+
+// E21TenantRow is one system.jobs leaderboard entry.
+type E21TenantRow struct {
+	Principal string
+	Queries   int64
+	TotalUs   int64
+}
+
+// E21SLORow is one system.slo row as read back through SQL.
+type E21SLORow struct {
+	Class      string
+	P99Us      int64
+	Attainment float64
+	Burn       float64
+	Total      int64
+}
+
+// E21ShedPoint is one system.metrics_history sample of the queue_full
+// rejection counter.
+type E21ShedPoint struct {
+	TsUs  int64
+	Value int64
+	Delta int64
+}
+
+// E21Result reports the overhead gate and the three SQL answers.
+type E21Result struct {
+	Tenants      int
+	Offered      int
+	Completed    int
+	Shed         int
+	ServiceEst   time.Duration
+	Interarrival time.Duration
+	// GoodputOff/GoodputOn are simulated-time goodput with recording
+	// disabled/enabled; OverheadPct is the gate (must be <= 2).
+	GoodputOff  float64
+	GoodputOn   float64
+	OverheadPct float64
+	// WallOff/WallOn are informational host-time measurements of the
+	// two loadtest runs (noisy; not gated).
+	WallOff time.Duration
+	WallOn  time.Duration
+	// ChecksumMatch asserts the two arms took bit-identical
+	// trajectories: recording must not perturb admission decisions.
+	ChecksumMatch bool
+	// JobsRetained is the ring population after the recording arm.
+	JobsRetained int
+	// HistoryCaptures counts metrics_history snapshots taken.
+	HistoryCaptures int64
+	TopTenants      []E21TenantRow
+	SLO             []E21SLORow
+	ShedTimeline    []E21ShedPoint
+	// ReconcileOK: the shed timeline's deltas sum to its value span
+	// and its final value matches the live obs counter.
+	ReconcileOK bool
+}
+
+// RunE21 runs the default configuration at the given scale.
+func RunE21(scale int) (E21Result, error) {
+	return RunE21Config(DefaultE21Config(scale))
+}
+
+// e21Arm runs one load arm; record toggles the telemetry pipeline.
+// Returns the loadtest result, the world (for post-run SQL), and the
+// host wall time of the run.
+func e21Arm(cfg E21Config, lcfg loadtest.Config, record bool) (*loadtest.Result, *e18World, time.Duration, error) {
+	w, err := newE18World(cfg.E18, cfg.E18.serveConfig(), cfg.E18.Tenants, lcfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if cfg.E18.Chaos {
+		w.env.Store.InjectFaults(cfg.E18.chaosProfile(0x21))
+	}
+	sys := w.env.Engine.Sys
+	sys.SetEnabled(record)
+	if record {
+		every := lcfg.Interarrival / 4
+		if every <= 0 {
+			every = time.Millisecond
+		}
+		sys.SetHistoryEvery(every)
+		sys.CaptureHistory() // baseline before the load window
+	}
+	t0 := time.Now()
+	r, err := loadtest.Run(w.srv, lcfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	wall := time.Since(t0)
+	if record {
+		sys.CaptureHistory() // final sample closes the window
+	}
+	return r, w, wall, nil
+}
+
+// RunE21Config runs the two arms and the SQL read-back under cfg.
+func RunE21Config(cfg E21Config) (E21Result, error) {
+	if cfg.Load <= 0 {
+		cfg.Load = 2
+	}
+	if cfg.TopN <= 0 {
+		cfg.TopN = 10
+	}
+	res := E21Result{Tenants: cfg.E18.Tenants}
+
+	// Calibrate on a throwaway world so both arms see cold caches.
+	cw, err := newE18World(cfg.E18, cfg.E18.serveConfig(), 0, loadtest.Config{})
+	if err != nil {
+		return E21Result{}, err
+	}
+	res.ServiceEst, err = cw.calibrate(cfg.E18)
+	if err != nil {
+		return E21Result{}, err
+	}
+
+	lcfg := loadtest.Config{
+		Seed:             cfg.E18.Seed,
+		Tenants:          cfg.E18.Tenants,
+		QueriesPerTenant: cfg.E18.QueriesPerTenant,
+		Interarrival:     cfg.E18.interarrivalFor(cfg.Load, res.ServiceEst, cfg.E18.Tenants),
+		Gen:              e18Gen,
+	}
+	res.Interarrival = lcfg.Interarrival
+
+	off, _, wallOff, err := e21Arm(cfg, lcfg, false)
+	if err != nil {
+		return E21Result{}, err
+	}
+	on, w, wallOn, err := e21Arm(cfg, lcfg, true)
+	if err != nil {
+		return E21Result{}, err
+	}
+	res.Offered = on.Offered
+	res.Completed = on.Completed
+	res.Shed = on.Rejected["queue_full"] + on.Rejected["queue_wait"]
+	res.GoodputOff, res.GoodputOn = off.GoodputQPS, on.GoodputQPS
+	res.WallOff, res.WallOn = wallOff, wallOn
+	if off.GoodputQPS > 0 {
+		res.OverheadPct = 100 * (off.GoodputQPS - on.GoodputQPS) / off.GoodputQPS
+	}
+	res.ChecksumMatch = off.Checksum == on.Checksum
+	res.JobsRetained = len(w.env.Engine.Sys.Jobs())
+
+	if err := e21ReadBack(cfg, w, &res); err != nil {
+		return E21Result{}, err
+	}
+
+	if !res.ChecksumMatch {
+		return res, fmt.Errorf("e21: recording arm diverged from blind arm (checksum mismatch)")
+	}
+	if res.OverheadPct > 2 {
+		return res, fmt.Errorf("e21: telemetry overhead %.2f%% exceeds the 2%% budget", res.OverheadPct)
+	}
+	return res, nil
+}
+
+// e21ReadBack answers the three operator questions through a normal
+// serve session, purely in SQL over the system dataset.
+func e21ReadBack(cfg E21Config, w *e18World, res *E21Result) error {
+	sess, err := w.srv.Open(Admin, "e21-readback")
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	rows := func(sql string) ([][]vector.Value, error) {
+		cur, err := sess.Query(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sql, err)
+		}
+		b, err := cur.All()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sql, err)
+		}
+		out := make([][]vector.Value, b.N)
+		for i := 0; i < b.N; i++ {
+			row := make([]vector.Value, len(b.Cols))
+			for j, c := range b.Cols {
+				row[j] = c.Value(i)
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+
+	// Q1: which tenants cost the most? system.jobs aggregates by
+	// principal over completed work.
+	q1, err := rows(fmt.Sprintf(
+		"SELECT principal, COUNT(*) AS n, SUM(exec_sim_us) AS total_us "+
+			"FROM system.jobs WHERE state = 'done' "+
+			"GROUP BY principal ORDER BY total_us DESC LIMIT %d", cfg.TopN))
+	if err != nil {
+		return err
+	}
+	for _, r := range q1 {
+		res.TopTenants = append(res.TopTenants, E21TenantRow{
+			Principal: valS(r[0]), Queries: valI(r[1]), TotalUs: valI(r[2]),
+		})
+	}
+
+	// Q2: per-class latency SLOs. p99, attainment, and burn come
+	// straight out of system.slo.
+	q2, err := rows("SELECT class, p99_us, attainment, error_budget_burn, total " +
+		"FROM system.slo ORDER BY class")
+	if err != nil {
+		return err
+	}
+	for _, r := range q2 {
+		res.SLO = append(res.SLO, E21SLORow{
+			Class: valS(r[0]), P99Us: valI(r[1]), Attainment: valF(r[2]),
+			Burn: valF(r[3]), Total: valI(r[4]),
+		})
+	}
+
+	// Q3: shed rate over time. metrics_history retains the queue_full
+	// counter's trajectory; its deltas must reconcile with the live
+	// counter the serve layer maintains.
+	q3, err := rows("SELECT ts_us, value, delta FROM system.metrics_history " +
+		"WHERE name = 'serve.rejected.queue_full' AND kind = 'counter' ORDER BY ts_us")
+	if err != nil {
+		return err
+	}
+	var deltaSum int64
+	for i, r := range q3 {
+		pt := E21ShedPoint{TsUs: valI(r[0]), Value: valI(r[1]), Delta: valI(r[2])}
+		res.ShedTimeline = append(res.ShedTimeline, pt)
+		if i > 0 {
+			deltaSum += pt.Delta
+		}
+	}
+	res.HistoryCaptures = w.env.Engine.Sys.HistoryTaken()
+	if n := len(res.ShedTimeline); n >= 2 {
+		first, last := res.ShedTimeline[0], res.ShedTimeline[n-1]
+		res.ReconcileOK = deltaSum == last.Value-first.Value &&
+			last.Value == w.env.Obs.Get("serve.rejected.queue_full")
+	}
+	return nil
+}
+
+// TopResult is `benchlake top`: the N most expensive retained jobs
+// and the hottest counters, read through SQL like an operator would.
+type TopResult struct {
+	Jobs    []TopJobRow
+	Metrics []TopMetricRow
+}
+
+type TopJobRow struct {
+	QueryID         string
+	Principal       string
+	Class           string
+	State           string
+	AdmissionWaitUs int64
+	ExecSimUs       int64
+	RowsScanned     int64
+	BytesScanned    int64
+}
+
+type TopMetricRow struct {
+	Name  string
+	Value int64
+}
+
+// RunTop drives a small seeded mix through a serve session and then
+// answers "what is expensive right now" purely via system.* SQL.
+func RunTop(n int) (TopResult, error) {
+	if n <= 0 {
+		n = 10
+	}
+	cfg := DefaultE18Config(1)
+	cfg.Seed = 0x109
+	lcfg := loadtest.Config{
+		Seed: cfg.Seed, Tenants: 8, QueriesPerTenant: 6,
+		Interarrival: 5 * time.Millisecond, Gen: e18Gen,
+	}
+	w, err := newE18World(cfg, serve.Config{MaxConcurrent: 4, MaxQueue: 8, PageRows: 256}, lcfg.Tenants, lcfg)
+	if err != nil {
+		return TopResult{}, err
+	}
+	if _, err := loadtest.Run(w.srv, lcfg); err != nil {
+		return TopResult{}, err
+	}
+
+	sess, err := w.srv.Open(Admin, "top")
+	if err != nil {
+		return TopResult{}, err
+	}
+	defer sess.Close()
+	var res TopResult
+	cur, err := sess.Query(fmt.Sprintf(
+		"SELECT query_id, principal, class, state, admission_wait_us, exec_sim_us, rows_scanned, bytes_scanned "+
+			"FROM system.jobs ORDER BY exec_sim_us DESC LIMIT %d", n))
+	if err != nil {
+		return TopResult{}, err
+	}
+	b, err := cur.All()
+	if err != nil {
+		return TopResult{}, err
+	}
+	for i := 0; i < b.N; i++ {
+		res.Jobs = append(res.Jobs, TopJobRow{
+			QueryID:         b.Column("query_id").Value(i).S,
+			Principal:       b.Column("principal").Value(i).S,
+			Class:           b.Column("class").Value(i).S,
+			State:           b.Column("state").Value(i).S,
+			AdmissionWaitUs: b.Column("admission_wait_us").Value(i).I,
+			ExecSimUs:       b.Column("exec_sim_us").Value(i).I,
+			RowsScanned:     b.Column("rows_scanned").Value(i).I,
+			BytesScanned:    b.Column("bytes_scanned").Value(i).I,
+		})
+	}
+	cur, err = sess.Query(fmt.Sprintf(
+		"SELECT name, value FROM system.metrics WHERE kind = 'counter' ORDER BY value DESC LIMIT %d", n))
+	if err != nil {
+		return TopResult{}, err
+	}
+	if b, err = cur.All(); err != nil {
+		return TopResult{}, err
+	}
+	for i := 0; i < b.N; i++ {
+		res.Metrics = append(res.Metrics, TopMetricRow{
+			Name: b.Column("name").Value(i).S, Value: b.Column("value").Value(i).I,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func tinyE21() E21Config {
+	return E21Config{
+		E18: E18Config{
+			Seed: 21, Tenants: 32, QueriesPerTenant: 4,
+			MaxConcurrent: 4, MaxQueue: 4, MaxQueueWait: 50 * time.Millisecond,
+			Chaos: true, CalibrationQueries: 8,
+		},
+		Load: 3, TopN: 5,
+	}
+}
+
+// TestE21 is the acceptance run at tiny scale: recording must cost
+// nothing on the simulated timeline (identical checksums), and every
+// operator question must be answerable purely through system.* SQL.
+func TestE21(t *testing.T) {
+	res, err := RunE21Config(tinyE21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ChecksumMatch {
+		t.Error("recording arm diverged from blind arm")
+	}
+	if res.OverheadPct > 2 {
+		t.Errorf("overhead %.2f%% > 2%%", res.OverheadPct)
+	}
+	if res.Shed == 0 {
+		t.Error("3x overload shed nothing; shed timeline is vacuous")
+	}
+	if res.JobsRetained == 0 {
+		t.Error("recording arm retained no jobs")
+	}
+	if len(res.TopTenants) == 0 {
+		t.Fatal("no tenant leaderboard rows")
+	}
+	for i := 1; i < len(res.TopTenants); i++ {
+		if res.TopTenants[i].TotalUs > res.TopTenants[i-1].TotalUs {
+			t.Errorf("leaderboard not sorted: %d us after %d us",
+				res.TopTenants[i].TotalUs, res.TopTenants[i-1].TotalUs)
+		}
+	}
+	if len(res.SLO) < 3 {
+		t.Errorf("slo rows = %d, want >= 3 (point/olap/dml observed)", len(res.SLO))
+	}
+	for _, r := range res.SLO {
+		if r.Total > 0 && r.P99Us == 0 {
+			t.Errorf("class %s observed %d samples but p99 = 0", r.Class, r.Total)
+		}
+	}
+	if len(res.ShedTimeline) < 2 {
+		t.Fatalf("shed timeline has %d points, want >= 2", len(res.ShedTimeline))
+	}
+	if !res.ReconcileOK {
+		t.Error("metrics_history deltas do not reconcile with the live counter")
+	}
+}
+
+// TestE21Deterministic: same config, same simulated answers (wall
+// fields are host-time and excluded).
+func TestE21Deterministic(t *testing.T) {
+	a, err := RunE21Config(tinyE21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE21Config(tinyE21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WallOff, a.WallOn, b.WallOff, b.WallOn = 0, 0, 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("E21 not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunTop: the benchlake top path returns sorted jobs and hot
+// counters via SQL.
+func TestRunTop(t *testing.T) {
+	res, err := RunTop(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 || len(res.Metrics) == 0 {
+		t.Fatalf("top returned %d jobs, %d metrics", len(res.Jobs), len(res.Metrics))
+	}
+	for i := 1; i < len(res.Jobs); i++ {
+		if res.Jobs[i].ExecSimUs > res.Jobs[i-1].ExecSimUs {
+			t.Error("top jobs not sorted by exec_sim_us desc")
+		}
+	}
+	for i := 1; i < len(res.Metrics); i++ {
+		if res.Metrics[i].Value > res.Metrics[i-1].Value {
+			t.Error("top metrics not sorted by value desc")
+		}
+	}
+}

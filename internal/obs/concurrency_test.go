@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHistogramObserveConcurrent hammers one histogram from parallel
+// writers and checks the exact totals after join. Run under -race via
+// make obs / make systables.
+func TestHistogramObserveConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", []int64{10, 100, 1000})
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i % 2000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot().Histograms["lat_us"]
+	if snap.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", snap.Count, workers*per)
+	}
+	var wantSum int64
+	for i := 0; i < per; i++ {
+		wantSum += int64(i % 2000)
+	}
+	wantSum *= workers
+	if snap.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", snap.Sum, wantSum)
+	}
+	var bucketSum int64
+	for _, c := range snap.Counts {
+		bucketSum += c
+	}
+	if bucketSum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, snap.Count)
+	}
+	// Exact per-bucket expectations for the 0..1999 cycle (bounds are
+	// inclusive upper edges): <=10 → 11 values, <=100 → 90, <=1000 →
+	// 900, overflow → 999.
+	want := []int64{11, 90, 900, 999}
+	for i, w := range want {
+		if snap.Counts[i] != w*workers*(per/2000) {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w*workers*(per/2000))
+		}
+	}
+}
+
+// TestSnapshotUnderConcurrentWriters snapshots continuously while
+// counters, gauges, histograms, and events are written, asserting
+// per-counter monotonicity across successive snapshots and exact
+// finals after join.
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 6, 5000
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		last := map[string]int64{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for name, v := range snap.Counters {
+				if v < last[name] {
+					snapErr = fmt.Errorf("counter %s went backwards: %d -> %d", name, last[name], v)
+					return
+				}
+				last[name] = v
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter(fmt.Sprintf("c%d", w%3))
+			g := r.Gauge("g")
+			h := r.Histogram("h", []int64{50})
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				g.Set(int64(i))
+				h.Observe(int64(i % 100))
+				if i%1000 == 0 {
+					r.Event("stream", fmt.Sprintf("w%d-%d", w, i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	snap := r.Snapshot()
+	var total int64
+	for i := 0; i < 3; i++ {
+		total += snap.Counters[fmt.Sprintf("c%d", i)]
+	}
+	if total != workers*per {
+		t.Fatalf("counter total = %d, want %d", total, workers*per)
+	}
+	if h := snap.Histograms["h"]; h.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*per)
+	}
+	if evs := len(snap.Events["stream"]); evs != workers*(per/1000) {
+		t.Fatalf("events = %d, want %d", evs, workers*(per/1000))
+	}
+}

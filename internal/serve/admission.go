@@ -8,6 +8,7 @@ import (
 
 	"biglake/internal/obs"
 	"biglake/internal/resilience"
+	"biglake/internal/systables"
 )
 
 // ErrQuotaExceeded matches every QuotaError via errors.Is.
@@ -69,6 +70,10 @@ type Config struct {
 	DefaultTenant TenantConfig
 	// Tenants holds per-tenant overrides keyed by principal.
 	Tenants map[string]TenantConfig
+	// SLOs sets the per-query-class latency objectives surfaced by
+	// system.slo (class, objective, target attainment). Empty installs
+	// systables.DefaultSLOTargets.
+	SLOs []systables.SLOTarget
 }
 
 func (c Config) withDefaults() Config {

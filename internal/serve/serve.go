@@ -20,6 +20,7 @@ import (
 	"biglake/internal/resilience"
 	"biglake/internal/security"
 	"biglake/internal/sqlparse"
+	"biglake/internal/systables"
 	"biglake/internal/txn"
 	"biglake/internal/vector"
 )
@@ -55,6 +56,7 @@ type Server struct {
 	closed   bool
 	sessSeq  int64
 	sessions int
+	sessMap  map[string]*Session
 	openTxns map[security.Principal]*txn.Session
 }
 
@@ -62,14 +64,47 @@ type Server struct {
 // with the engine's no-transaction error.
 func New(eng *engine.Engine, txns *txn.Manager, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	srv := &Server{
 		eng:      eng,
 		txns:     txns,
 		cfg:      cfg,
 		adm:      newAdmitter(cfg, eng.Obs),
 		c:        resolveServeCounters(eng.Obs),
+		sessMap:  map[string]*Session{},
 		openTxns: map[security.Principal]*txn.Session{},
 	}
+	// The server is the system-table provider's session source and SLO
+	// configurator: system.sessions enumerates open sessions and
+	// system.slo reports against these objectives.
+	eng.Sys.ConfigureSLOs(cfg.SLOs)
+	eng.Sys.SetSessions(srv.sessionRows)
+	return srv
+}
+
+// sessionRows snapshots the open sessions for system.sessions. Session
+// pointers are copied out under the server mutex first; each session's
+// counters are then read under its own mutex (the same srv.mu → s.mu
+// order beginTxn-free paths use, never the reverse).
+func (s *Server) sessionRows() []systables.SessionRow {
+	s.mu.Lock()
+	open := make([]*Session, 0, len(s.sessMap))
+	for _, sess := range s.sessMap {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	rows := make([]systables.SessionRow, 0, len(open))
+	for _, sess := range open {
+		sess.mu.Lock()
+		rows = append(rows, systables.SessionRow{
+			ID:        sess.ID,
+			Principal: string(sess.Principal),
+			Inflight:  int64(len(sess.inflight)),
+			Queries:   sess.qseq,
+			TxnOpen:   sess.txn != nil && sess.txn.Active(),
+		})
+		sess.mu.Unlock()
+	}
+	return rows
 }
 
 // Usage returns the per-tenant accounting snapshot.
@@ -87,17 +122,19 @@ func (s *Server) Open(principal security.Principal, name string) (*Session, erro
 	seq := s.sessSeq
 	s.sessions++
 	n := s.sessions
-	s.mu.Unlock()
 	if name == "" {
 		name = "sess"
 	}
-	s.c.sessions.Set(int64(n))
-	return &Session{
+	sess := &Session{
 		srv:       s,
 		ID:        fmt.Sprintf("%s-%d", name, seq),
 		Principal: principal,
 		inflight:  map[string]*engine.QueryContext{},
-	}, nil
+	}
+	s.sessMap[sess.ID] = sess
+	s.mu.Unlock()
+	s.c.sessions.Set(int64(n))
+	return sess, nil
 }
 
 // Close shuts the server: existing sessions keep draining, new Opens
@@ -119,6 +156,7 @@ type Session struct {
 	mu       sync.Mutex
 	closed   bool
 	qseq     int64
+	shedSeq  int64
 	txn      *txn.Session
 	inflight map[string]*engine.QueryContext
 }
@@ -191,6 +229,7 @@ func (s *Session) Close() error {
 	s.srv.mu.Lock()
 	s.srv.sessions--
 	n := s.srv.sessions
+	delete(s.srv.sessMap, s.ID)
 	s.srv.mu.Unlock()
 	s.srv.c.sessions.Set(int64(n))
 	return err
@@ -320,11 +359,51 @@ func (p *Prepared) ExecuteAt(now time.Duration, deliver func(grantedAt time.Dura
 	}
 	p.sess.srv.adm.submit(string(p.sess.Principal), p.cost, now, func(g *Grant, err error) {
 		if err != nil {
+			p.sess.recordShed(p, now, err)
 			deliver(0, nil, err)
 			return
 		}
 		deliver(g.grantedAt, func() (*Cursor, error) { return p.sess.runStatement(p, g) }, nil)
 	})
+}
+
+// recordShed lands an admission rejection in system.jobs: the
+// statement never ran, so the record carries a synthetic query ID
+// (outside the q-sequence that seeds retry budgets) and zero resource
+// counts.
+func (s *Session) recordShed(p *Prepared, now time.Duration, cause error) {
+	sys := s.srv.eng.Sys
+	if !sys.Enabled() {
+		return
+	}
+	s.mu.Lock()
+	s.shedSeq++
+	qid := fmt.Sprintf("%s-shed%03d", s.ID, s.shedSeq)
+	s.mu.Unlock()
+	sys.RecordJob(systables.JobRecord{
+		QueryID:    qid,
+		Principal:  string(s.Principal),
+		SQL:        p.sql,
+		Kind:       p.kind,
+		Class:      engine.QueryClass(p.stmt),
+		State:      systables.StateShed,
+		ErrorClass: classifyServeError(cause),
+		Start:      now,
+	})
+}
+
+// classifyServeError extends the engine's error classification with
+// the serve- and txn-layer causes this package can see.
+func classifyServeError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQuotaExceeded):
+		return "quota"
+	case errors.Is(err, txn.ErrConflict):
+		return "txn_conflict"
+	}
+	return systables.ClassifyError(err)
 }
 
 // runStatement executes an admitted statement. The grant is handed to
@@ -352,7 +431,14 @@ func (s *Session) runStatement(p *Prepared, g *Grant) (cur *Cursor, err error) {
 	open := s.txn
 	s.mu.Unlock()
 
+	wallStart := time.Now()
 	ctx := engine.NewContext(s.Principal, qid)
+	// The serve layer owns job recording: the statement lands in
+	// system.jobs exactly once, at cursor close (or on the error paths
+	// below), with admission wait and egress attached — not at engine
+	// return, where the stream outcome is unknown.
+	ctx.SkipJobRecord = true
+	ctx.SQLText = p.sql
 	// Seed the retry budget exactly as engine.Execute would, but
 	// before execution starts, so Cancel from another goroutine works
 	// and served execution retries identically to direct execution
@@ -402,8 +488,33 @@ func (s *Session) runStatement(p *Prepared, g *Grant) (cur *Cursor, err error) {
 	if tr != nil {
 		tr.Finish()
 	}
+	job := systables.JobRecord{
+		QueryID:       qid,
+		Principal:     string(s.Principal),
+		SQL:           p.sql,
+		Kind:          p.kind,
+		Class:         engine.QueryClass(p.stmt),
+		State:         systables.StateDone,
+		AdmissionWait: g.queuedFor,
+		Start:         ctx.Stats.SimStart,
+		ExecSim:       ctx.Stats.SimElapsed,
+		RowsScanned:   ctx.Stats.RowsScanned,
+		BytesScanned:  ctx.Stats.BytesScanned,
+		CacheHits:     ctx.Stats.CacheHits,
+		QuarantineSkips: ctx.Stats.QuarantineSkips,
+	}
 	if err != nil {
 		s.removeInflight(qid)
+		job.ErrorClass = classifyServeError(err)
+		job.State = systables.StateFailed
+		if job.ErrorClass == "cancelled" {
+			job.State = systables.StateCancelled
+		}
+		if job.ErrorClass == "txn_conflict" {
+			job.AbortCause = err.Error()
+		}
+		job.Wall = time.Since(wallStart)
+		srv.eng.Sys.RecordJob(job)
 		return nil, err
 	}
 	batch := res.Batch
@@ -415,14 +526,18 @@ func (s *Session) runStatement(p *Prepared, g *Grant) (cur *Cursor, err error) {
 	// its own results, but the session boundary owns the lifetime
 	// guarantee, so enforce it here too.
 	batch = vector.DetachBatch(batch)
+	job.ExecSim = res.Stats.SimElapsed
+	job.Start = res.Stats.SimStart
 	return &Cursor{
-		sess:  s,
-		ctx:   ctx,
-		grant: g,
-		qid:   qid,
-		batch: batch,
-		page:  srv.cfg.PageRows,
-		stats: res.Stats,
+		sess:      s,
+		ctx:       ctx,
+		grant:     g,
+		qid:       qid,
+		batch:     batch,
+		page:      srv.cfg.PageRows,
+		stats:     res.Stats,
+		job:       job,
+		wallStart: wallStart,
 	}, nil
 }
 
@@ -484,11 +599,18 @@ type Cursor struct {
 	page  int
 	stats engine.ExecStats
 
+	// job is the statement's pre-filled system.jobs record; CloseAt
+	// finalizes it (egress, rows delivered, wall time, stream outcome)
+	// and hands it to the provider exactly once.
+	job       systables.JobRecord
+	wallStart time.Time
+
 	mu        sync.Mutex
 	off       int
 	sentFirst bool
 	closed    bool
 	egress    int64
+	failErr   error
 }
 
 // Stats returns the execution stats recorded when the query ran.
@@ -512,6 +634,7 @@ func (c *Cursor) Next() (*vector.Batch, error) {
 		return nil, nil
 	}
 	if err := c.ctx.Budget.CheckDeadline(c.sess.srv.eng.Clock); err != nil {
+		c.failErr = err
 		c.mu.Unlock()
 		c.Close()
 		return nil, fmt.Errorf("serve: result stream killed: %w", err)
@@ -570,9 +693,28 @@ func (c *Cursor) CloseAt(now time.Duration) {
 	}
 	c.closed = true
 	egress := c.egress
+	rows := int64(c.off)
+	failErr := c.failErr
 	c.mu.Unlock()
 	c.sess.removeInflight(c.qid)
 	c.sess.srv.adm.release(c.grant, egress, now)
+
+	// Finalize the job record now that the stream outcome is known.
+	// Recording happens after every lock above is released, and the
+	// provider copies under its own locks only, so a concurrent scan of
+	// system.jobs (even from this very session) cannot deadlock.
+	job := c.job
+	job.RowsReturned = rows
+	job.BytesReturned = egress
+	job.Wall = time.Since(c.wallStart)
+	if failErr != nil {
+		job.ErrorClass = classifyServeError(failErr)
+		job.State = systables.StateFailed
+		if job.ErrorClass == "cancelled" {
+			job.State = systables.StateCancelled
+		}
+	}
+	c.sess.srv.eng.Sys.RecordJob(job)
 }
 
 // pageOf slices rows [off, off+n) of b into a plain-encoded page.

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"biglake/internal/systables"
+)
+
+func collect(t *testing.T, cur *Cursor) [][]string {
+	t.Helper()
+	b, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]string, b.N)
+	for i := 0; i < b.N; i++ {
+		row := make([]string, len(b.Cols))
+		for j, c := range b.Cols {
+			v := c.Value(i)
+			switch {
+			case v.S != "":
+				row[j] = v.S
+			default:
+				row[j] = fmt.Sprint(v.I)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestSelfObservation is the satellite regression: a query over
+// system.jobs issued through a serve session must (a) see every
+// previously closed statement, (b) not see itself (it is recorded at
+// cursor close, after its scan), and (c) record itself exactly once,
+// visible to the next query. Run under -race this also proves the
+// registry/ring locking cannot deadlock against the scan's snapshot.
+func TestSelfObservation(t *testing.T) {
+	ev := newEnv(t, Config{})
+	ev.createTable(t, "t")
+	ev.seedRows(t, "t", 8)
+
+	sess := ev.open(t, adminP)
+	defer sess.Close()
+
+	cur, err := sess.Query("SELECT id FROM ds.t WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.All(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := ev.eng.Sys.Jobs()
+	served := 0
+	for _, j := range jobs {
+		if j.Principal == string(adminP) && j.Kind == "select" {
+			served++
+		}
+	}
+	if served != 1 {
+		t.Fatalf("jobs after one served select = %d, want 1", served)
+	}
+
+	// The system.jobs query itself: its scan must not include its own
+	// record, and afterwards it must appear exactly once.
+	cur, err = sess.Query("SELECT query_id, state FROM system.jobs WHERE kind = 'select'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collect(t, cur)
+	if len(rows) != 1 {
+		t.Fatalf("system.jobs sees %d select jobs during its own scan, want 1 (not itself)", len(rows))
+	}
+
+	cur, err = sess.Query("SELECT query_id FROM system.jobs WHERE kind = 'select'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = collect(t, cur)
+	if len(rows) != 2 {
+		t.Fatalf("system.jobs select jobs after self-query closed = %d, want 2 (recorded exactly once)", len(rows))
+	}
+
+	// Concurrent hammering: sessions querying system.jobs while other
+	// sessions record — no deadlock, no race (the -race run proves it).
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := ev.srv.Open(adminP, fmt.Sprintf("w%d", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for i := 0; i < 20; i++ {
+				sql := "SELECT query_id FROM system.jobs"
+				if i%2 == 1 {
+					sql = "SELECT id FROM ds.t WHERE id = 1"
+				}
+				cur, err := s.Query(sql)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cur.All(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestServeShedRecorded: admission rejections land in system.jobs as
+// state=shed with a classified cause and never consume a query ID from
+// the retry-budget sequence.
+func TestServeShedRecorded(t *testing.T) {
+	ev := newEnv(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	ev.createTable(t, "t")
+	ev.seedRows(t, "t", 4)
+
+	sess := ev.open(t, adminP)
+	defer sess.Close()
+
+	// Hold the only slot with an open cursor, queue one, then overflow.
+	hold, err := sess.Query("SELECT id FROM ds.t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued, shed int
+	for i := 0; i < 3; i++ {
+		p, err := sess.Parse("SELECT id FROM ds.t WHERE id = 2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ExecuteAt(ev.clock.Now(), func(_ time.Duration, run func() (*Cursor, error), err error) {
+			if err != nil {
+				shed++
+				return
+			}
+			queued++
+			if run != nil {
+				if cur, rerr := run(); rerr == nil {
+					cur.Close()
+				}
+			}
+		})
+	}
+	hold.Close()
+	if shed == 0 {
+		t.Fatal("no submissions shed with MaxQueue 1")
+	}
+	var shedRecs int
+	for _, j := range ev.eng.Sys.Jobs() {
+		if j.State == systables.StateShed {
+			shedRecs++
+			if j.ErrorClass != "overload_queue_full" {
+				t.Errorf("shed error class = %q", j.ErrorClass)
+			}
+			if j.Class != "point" {
+				t.Errorf("shed class = %q, want point", j.Class)
+			}
+		}
+	}
+	if shedRecs != shed {
+		t.Fatalf("shed records = %d, want %d", shedRecs, shed)
+	}
+}
+
+// TestServeSessionsAndSLOTables: system.sessions enumerates open
+// sessions through SQL and serve's Config.SLOs override lands in
+// system.slo.
+func TestServeSessionsAndSLOTables(t *testing.T) {
+	ev := newEnv(t, Config{SLOs: []systables.SLOTarget{
+		{Class: "point", Objective: 5 * time.Millisecond, Target: 0.5},
+	}})
+	ev.createTable(t, "t")
+	ev.seedRows(t, "t", 4)
+
+	s1 := ev.open(t, adminP)
+	defer s1.Close()
+	s2 := ev.open(t, adminP)
+
+	cur, err := s1.Query("SELECT session_id, principal FROM system.sessions ORDER BY session_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collect(t, cur)
+	if len(rows) != 2 {
+		t.Fatalf("system.sessions rows = %d, want 2", len(rows))
+	}
+	s2.Close()
+
+	cur, err = s1.Query("SELECT session_id FROM system.sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := collect(t, cur); len(rows) != 1 {
+		t.Fatalf("system.sessions after close = %d rows, want 1", len(rows))
+	}
+
+	// The configured objective replaced the default.
+	cur, err = s1.Query("SELECT class, objective_us FROM system.slo WHERE class = 'point'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 1 || b.Column("objective_us").Value(0).I != 5000 {
+		t.Fatalf("point objective row = %+v", b)
+	}
+}
+
+// TestServeRecordsOnce: a served statement is recorded exactly once —
+// by the cursor, not additionally by engine.Execute.
+func TestServeRecordsOnce(t *testing.T) {
+	ev := newEnv(t, Config{})
+	ev.createTable(t, "t")
+	ev.seedRows(t, "t", 4)
+	base := len(ev.eng.Sys.Jobs())
+
+	sess := ev.open(t, adminP)
+	defer sess.Close()
+	cur, err := sess.Query("SELECT id FROM ds.t WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ev.eng.Sys.Jobs()); got != base {
+		t.Fatalf("job recorded before cursor close: %d vs base %d", got, base)
+	}
+	if _, err := cur.All(); err != nil { // All closes
+		t.Fatal(err)
+	}
+	jobs := ev.eng.Sys.Jobs()
+	if got := len(jobs); got != base+1 {
+		t.Fatalf("jobs after close = %d, want %d", got, base+1)
+	}
+	last := jobs[len(jobs)-1]
+	if last.State != systables.StateDone || last.RowsReturned != 1 || last.BytesReturned == 0 {
+		t.Fatalf("final record = %+v", last)
+	}
+	if last.SQL == "" || last.QueryID == "" {
+		t.Fatalf("record missing identity: %+v", last)
+	}
+	// Closing again must not double-record.
+	cur.Close()
+	if got := len(ev.eng.Sys.Jobs()); got != base+1 {
+		t.Fatalf("double close double-recorded: %d", got)
+	}
+}

@@ -1,0 +1,223 @@
+package systables
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOTarget is one latency objective: fraction Target of class
+// statements should finish (admission wait + sim execution) within
+// Objective.
+type SLOTarget struct {
+	Class     string
+	Objective time.Duration
+	Target    float64
+}
+
+// DefaultSLOTargets mirrors the serve defaults: interactive point
+// lookups are held to a tight bound, analytical scans and DML looser.
+func DefaultSLOTargets() []SLOTarget {
+	return []SLOTarget{
+		{Class: "point", Objective: 50 * time.Millisecond, Target: 0.99},
+		{Class: "olap", Objective: 500 * time.Millisecond, Target: 0.95},
+		{Class: "dml", Objective: 250 * time.Millisecond, Target: 0.95},
+		{Class: "txn", Objective: 250 * time.Millisecond, Target: 0.95},
+	}
+}
+
+// fallbackTarget covers classes observed without an explicit objective.
+var fallbackTarget = SLOTarget{Objective: time.Second, Target: 0.95}
+
+// SLORow is one class's summary as surfaced by system.slo.
+type SLORow struct {
+	Class            string
+	ObjectiveUs      int64
+	Target           float64
+	Total            int64 // statements observed since start
+	Attained         int64 // of Total, within objective
+	Attainment       float64
+	Window           int64 // samples in the rolling window
+	WindowAttainment float64
+	// ErrorBudgetBurn is the rolling burn rate: miss fraction in the
+	// window over the budgeted miss fraction (1-Target). 1.0 burns the
+	// budget exactly as fast as allowed; >1 is out of SLO.
+	ErrorBudgetBurn float64
+	P50Us           int64 // exact percentile over the window
+	P99Us           int64
+}
+
+type sloClass struct {
+	target   SLOTarget
+	total    int64
+	attained int64
+	ring     []int64 // latency samples (µs), rolling
+	size     int
+	next     int
+	winHit   int64 // of the retained window, within objective
+}
+
+// SLOTracker keeps cumulative and rolling-window attainment per query
+// class. One mutex guards everything; Observe is O(1) and Rows copies
+// out before computing percentiles, so scans never hold the lock
+// during sorting.
+type SLOTracker struct {
+	mu      sync.Mutex
+	window  int
+	classes map[string]*sloClass
+	targets map[string]SLOTarget
+}
+
+// NewSLOTracker returns a tracker with the default objectives and the
+// given rolling-window size per class.
+func NewSLOTracker(window int) *SLOTracker {
+	if window < 1 {
+		window = 1
+	}
+	t := &SLOTracker{window: window, classes: map[string]*sloClass{}, targets: map[string]SLOTarget{}}
+	t.Configure(DefaultSLOTargets())
+	return t
+}
+
+// Configure replaces the objectives. Classes already observed keep
+// their samples; attainment counters restart against the new bound so
+// a tightened objective is not judged by history measured under the
+// old one.
+func (t *SLOTracker) Configure(targets []SLOTarget) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.targets = map[string]SLOTarget{}
+	for _, tg := range targets {
+		if tg.Objective <= 0 {
+			tg.Objective = fallbackTarget.Objective
+		}
+		if tg.Target <= 0 || tg.Target >= 1 {
+			tg.Target = fallbackTarget.Target
+		}
+		t.targets[tg.Class] = tg
+	}
+	for class, c := range t.classes {
+		tg, ok := t.targets[class]
+		if !ok {
+			tg = fallbackTarget
+			tg.Class = class
+		}
+		c.target = tg
+		c.total, c.attained, c.winHit = 0, 0, 0
+		objUs := tg.Objective.Microseconds()
+		for i := 0; i < c.size; i++ {
+			if c.ring[i] <= objUs {
+				c.winHit++
+			}
+		}
+	}
+}
+
+// Observe records one successful statement's latency for a class.
+func (t *SLOTracker) Observe(class string, lat time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.classes[class]
+	if c == nil {
+		tg, ok := t.targets[class]
+		if !ok {
+			tg = fallbackTarget
+			tg.Class = class
+		}
+		c = &sloClass{target: tg, ring: make([]int64, t.window)}
+		t.classes[class] = c
+	}
+	us := lat.Microseconds()
+	objUs := c.target.Objective.Microseconds()
+	c.total++
+	if us <= objUs {
+		c.attained++
+	}
+	if c.size == len(c.ring) {
+		if c.ring[c.next] <= objUs {
+			c.winHit--
+		}
+	} else {
+		c.size++
+	}
+	c.ring[c.next] = us
+	if us <= objUs {
+		c.winHit++
+	}
+	c.next = (c.next + 1) % len(c.ring)
+}
+
+// Rows returns per-class summaries sorted by class name. Percentiles
+// are exact over the retained window (nearest-rank).
+func (t *SLOTracker) Rows() []SLORow {
+	t.mu.Lock()
+	type copied struct {
+		target          SLOTarget
+		total, attained int64
+		winHit          int64
+		samples         []int64
+	}
+	classes := make(map[string]copied, len(t.classes))
+	for name, c := range t.classes {
+		classes[name] = copied{
+			target:   c.target,
+			total:    c.total,
+			attained: c.attained,
+			winHit:   c.winHit,
+			samples:  append([]int64(nil), c.ring[:c.size]...),
+		}
+	}
+	// Configured-but-unobserved classes still get a row so dashboards
+	// see the objective before traffic arrives.
+	for name, tg := range t.targets {
+		if _, ok := classes[name]; !ok {
+			classes[name] = copied{target: tg}
+		}
+	}
+	t.mu.Unlock()
+
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]SLORow, 0, len(names))
+	for _, name := range names {
+		c := classes[name]
+		row := SLORow{
+			Class:       name,
+			ObjectiveUs: c.target.Objective.Microseconds(),
+			Target:      c.target.Target,
+			Total:       c.total,
+			Attained:    c.attained,
+			Window:      int64(len(c.samples)),
+		}
+		if c.total > 0 {
+			row.Attainment = float64(c.attained) / float64(c.total)
+		}
+		if n := len(c.samples); n > 0 {
+			row.WindowAttainment = float64(c.winHit) / float64(n)
+			row.ErrorBudgetBurn = (1 - row.WindowAttainment) / (1 - c.target.Target)
+			sort.Slice(c.samples, func(i, j int) bool { return c.samples[i] < c.samples[j] })
+			row.P50Us = percentile(c.samples, 0.50)
+			row.P99Us = percentile(c.samples, 0.99)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// percentile is nearest-rank over an already-sorted sample set.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

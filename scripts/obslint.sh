@@ -23,4 +23,24 @@ if [ -n "$new" ]; then
     echo "route them through the obs.Registry (see DESIGN.md Observability)" >&2
     exit 1
 fi
+
+# Second pass: every literal metric name registered on the obs.Registry
+# must be documented (backticked) in DESIGN.md, so the system.metrics
+# table stays self-describing. The trailing [,)] in the pattern limits
+# this to literal names; dynamically composed names (the
+# serve.tenant.<principal>.* family) are exempt by construction.
+undocumented=
+for name in $(grep -rhoE '\.(Counter|Gauge|Histogram)\("[a-z0-9_.]+"[,)]' \
+    --include='*.go' --exclude-dir=obs --exclude='*_test.go' internal/ cmd/ 2>/dev/null \
+    | sed -E 's/.*\("([a-z0-9_.]+)".*/\1/' | sort -u); do
+    if ! grep -q "\`$name\`" DESIGN.md; then
+        undocumented="$undocumented $name"
+    fi
+done
+if [ -n "$undocumented" ]; then
+    echo "obslint: registered metric name(s) missing from DESIGN.md:" >&2
+    for name in $undocumented; do echo "  $name" >&2; done
+    echo "add them to the metric name reference (DESIGN.md, Queryable telemetry & SLOs)" >&2
+    exit 1
+fi
 echo "obslint: ok"
